@@ -1,0 +1,19 @@
+"""Ablation: pivot-based Y comparison (M-1) vs all-pairs (M(M-1)/2)."""
+
+from conftest import emit, run_once
+
+from repro.evaluation.experiments import ablation_pivot_vs_all_pairs, ablation_y_value_mode
+from repro.reporting.tables import format_accuracy_map
+
+
+def test_ablation_pivot_ordering(benchmark):
+    result = run_once(benchmark, ablation_pivot_vs_all_pairs, repetitions=2)
+    modes = ablation_y_value_mode(repetitions=2)
+    emit(
+        "Ablation — Y-axis comparison strategy",
+        format_accuracy_map(result)
+        + "\n"
+        + format_accuracy_map(modes, title="Y-axis V-zone summary (depth / raw / curvature)")
+        + "\npaper: the pivot shortcut keeps accuracy while cutting comparisons to M-1",
+    )
+    assert abs(result["pivot"]["accuracy_y"] - result["all_pairs"]["accuracy_y"]) < 0.4

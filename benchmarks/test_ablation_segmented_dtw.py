@@ -1,0 +1,21 @@
+"""Ablation: segmented DTW vs full-sample DTW vs longest-run heuristic."""
+
+from conftest import emit, run_once
+
+from repro.evaluation.experiments import (
+    ablation_segmented_vs_full_dtw,
+    dtw_speedup_measurement,
+)
+from repro.reporting.tables import format_accuracy_map
+
+
+def test_ablation_segmented_vs_full_dtw(benchmark):
+    result = run_once(benchmark, ablation_segmented_vs_full_dtw, repetitions=2)
+    speedup = dtw_speedup_measurement()
+    emit(
+        "Ablation — V-zone detection strategy",
+        format_accuracy_map(result)
+        + f"\nsingle-profile DTW speed-up from segmentation: {speedup['speedup']:.1f}x "
+        f"(paper predicts ~w^2 = {speedup['theoretical_speedup']:.0f}x)",
+    )
+    assert result["segmented_dtw"]["runtime_s"] <= result["full_dtw"]["runtime_s"]

@@ -1,0 +1,15 @@
+"""Section 5.1 headline: average book-ordering accuracy over repeated sweeps."""
+
+from conftest import emit, run_once
+
+from repro.evaluation.experiments import case_library_headline
+
+
+def test_case_library_headline(benchmark):
+    accuracy = run_once(benchmark, case_library_headline, sweeps=3)
+    emit(
+        "Section 5.1 — misplaced-book case study headline",
+        f"mean per-level ordering accuracy over sweeps: {accuracy:.2f}\n"
+        "paper: 0.84 on a 90-book, 3-level shelf over 50 sweeps",
+    )
+    assert accuracy > 0.25

@@ -1,0 +1,20 @@
+"""Figure 3: reference profiles, X spacing separates V-zone bottoms in time."""
+
+from conftest import emit, run_once
+
+from repro.evaluation.experiments import fig03_reference_profiles_x
+from repro.reporting.tables import format_table
+
+
+def test_fig03_reference_profiles_x(benchmark):
+    result = run_once(benchmark, fig03_reference_profiles_x)
+    rows = [
+        (f"{spacing*100:.0f} cm", f"{pair.bottom_gap_s:.2f} s")
+        for spacing, pair in sorted(result.items())
+    ]
+    emit(
+        "Figure 3 — V-zone bottom separation vs X spacing (reference profiles)",
+        format_table(("X spacing", "bottom gap"), rows)
+        + "\npaper: the 10 cm spacing shows a visibly larger time gap than 5 cm",
+    )
+    assert result[0.10].bottom_gap_s > result[0.05].bottom_gap_s

@@ -1,0 +1,20 @@
+"""Figure 4: reference profiles, Y spacing changes V-zone shape, not timing."""
+
+from conftest import emit, run_once
+
+from repro.evaluation.experiments import fig04_reference_profiles_y
+from repro.reporting.tables import format_table
+
+
+def test_fig04_reference_profiles_y(benchmark):
+    result = run_once(benchmark, fig04_reference_profiles_y)
+    rows = [
+        (f"{spacing*100:.0f} cm", f"{pair.bottom_gap_s:.3f} s", f"{pair.bottom_phase_gap_rad:.3f}")
+        for spacing, pair in sorted(result.items())
+    ]
+    emit(
+        "Figure 4 — V-zone shape difference vs Y spacing (reference profiles)",
+        format_table(("Y spacing", "bottom-time gap", "curvature gap (rad/s^2)"), rows)
+        + "\npaper: larger Y spacing -> larger difference between the two V-zones",
+    )
+    assert result[0.10].bottom_phase_gap_rad > result[0.05].bottom_phase_gap_rad

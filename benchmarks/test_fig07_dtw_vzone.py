@@ -1,0 +1,19 @@
+"""Figure 7: V-zone located in a measured profile by segmented DTW."""
+
+from conftest import emit, run_once
+
+from repro.evaluation.experiments import fig07_dtw_alignment
+
+
+def test_fig07_dtw_vzone(benchmark):
+    result = run_once(benchmark, fig07_dtw_alignment)
+    emit(
+        "Figure 7 — DTW V-zone detection",
+        f"DTW cost: {result.dtw_cost:.3f}\n"
+        f"detected bottom: {result.detected_bottom_time_s:.2f} s "
+        f"(true perpendicular: {result.true_perpendicular_time_s:.2f} s, "
+        f"error {result.bottom_error_s*100:.1f} cm-equivalent x 0.3 m/s)\n"
+        f"detected window: {result.detected_window_s[0]:.2f}-{result.detected_window_s[1]:.2f} s\n"
+        "paper: after warping, the reference V-zone lands on the measured V-zone",
+    )
+    assert result.bottom_error_s < 0.5

@@ -1,0 +1,17 @@
+"""Figure 8: coarse-grained segmentation of a measured phase profile."""
+
+from conftest import emit, run_once
+
+from repro.evaluation.experiments import fig08_segmentation
+
+
+def test_fig08_segmentation(benchmark):
+    result = run_once(benchmark, fig08_segmentation)
+    emit(
+        "Figure 8 — phase profile segmentation (w=5)",
+        f"samples: {result.sample_count}\n"
+        f"segments: {result.segment_count} (extra splits at wraps: {result.wrap_splits})\n"
+        f"compression ratio: {result.compression_ratio:.1f}x\n"
+        "paper: the profile is represented by a few dozen range/interval segments",
+    )
+    assert result.segment_count < result.sample_count

@@ -1,0 +1,17 @@
+"""Figure 12: coarse-segment window size w vs ordering accuracy."""
+
+from conftest import emit, run_once
+
+from repro.evaluation.experiments import fig12_window_size
+from repro.reporting.tables import format_accuracy_map
+
+
+def test_fig12_window_size(benchmark):
+    result = run_once(benchmark, fig12_window_size, repetitions=2)
+    emit(
+        "Figure 12 — window size vs accuracy",
+        format_accuracy_map({case: {str(w): acc for w, acc in values.items()} for case, values in result.items()})
+        + "\npaper: accuracy ~0.98 for w<=3, slight drop to w=5, sharp drop beyond",
+    )
+    for case_values in result.values():
+        assert all(0.0 <= acc <= 1.0 for acc in case_values.values())

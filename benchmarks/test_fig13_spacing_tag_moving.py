@@ -1,0 +1,17 @@
+"""Figure 13: tag-to-tag distance vs ordering accuracy (tag-moving case)."""
+
+from conftest import emit, run_once
+
+from repro.evaluation.experiments import fig13_spacing_tag_moving
+from repro.reporting.tables import format_accuracy_map
+
+
+def test_fig13_spacing_tag_moving(benchmark):
+    result = run_once(benchmark, fig13_spacing_tag_moving, repetitions=3)
+    emit(
+        "Figure 13 — spacing vs accuracy, tag-moving case",
+        format_accuracy_map({f"{s*100:.0f} cm": v for s, v in sorted(result.items())})
+        + "\npaper: 42%/23% (X/Y) at 2 cm rising to 92%/88% at 10 cm",
+    )
+    spacings = sorted(result)
+    assert result[spacings[-1]]["y"] >= result[spacings[0]]["y"]

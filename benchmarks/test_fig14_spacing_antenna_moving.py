@@ -1,0 +1,17 @@
+"""Figure 14: tag-to-tag distance vs ordering accuracy (antenna-moving case)."""
+
+from conftest import emit, run_once
+
+from repro.evaluation.experiments import fig14_spacing_antenna_moving
+from repro.reporting.tables import format_accuracy_map
+
+
+def test_fig14_spacing_antenna_moving(benchmark):
+    result = run_once(benchmark, fig14_spacing_antenna_moving, repetitions=3)
+    emit(
+        "Figure 14 — spacing vs accuracy, antenna-moving case",
+        format_accuracy_map({f"{s*100:.0f} cm": v for s, v in sorted(result.items())})
+        + "\npaper: accuracy remains high for spacings above 8 cm",
+    )
+    spacings = sorted(result)
+    assert result[spacings[-1]]["combined"] >= result[spacings[0]]["combined"] - 0.1

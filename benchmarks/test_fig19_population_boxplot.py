@@ -1,0 +1,19 @@
+"""Figure 19: accuracy distribution vs tag population, STPP vs OTrack."""
+
+from conftest import emit, run_once
+
+from repro.evaluation.experiments import fig19_population_boxplot, summarise_boxplot
+from repro.reporting.tables import format_accuracy_map
+
+
+def test_fig19_population_boxplot(benchmark):
+    samples = run_once(benchmark, fig19_population_boxplot, repetitions=1)
+    summary = summarise_boxplot(samples)
+    emit(
+        "Figure 19 — accuracy distribution vs population (STPP vs OTrack)",
+        format_accuracy_map(
+            {name: {"median": s["median"], "iqr": s["iqr"]} for name, s in summary.items()}
+        )
+        + "\npaper: STPP's IQR is significantly smaller than OTrack's",
+    )
+    assert summary["STPP"]["median"] >= summary["OTrack"]["median"]

@@ -1,0 +1,22 @@
+"""Figure 21: detected book layout; errors concentrate on thin books."""
+
+import numpy as np
+from conftest import emit, run_once
+
+from repro.evaluation.experiments import fig21_library_layout
+
+
+def test_fig21_library_layout(benchmark):
+    result = run_once(benchmark, fig21_library_layout)
+    wrong_thickness = (
+        float(np.mean(result.wrong_book_thicknesses_m)) if result.wrong_book_thicknesses_m else float("nan")
+    )
+    emit(
+        "Figure 21 — detected book layout",
+        f"per-level accuracy: { {k: round(v, 2) for k, v in result.per_level_accuracy.items()} }\n"
+        f"overall accuracy: {result.accuracy:.2f}\n"
+        f"wrongly ordered books: {len(result.wrong_books)} "
+        f"(mean thickness {wrong_thickness*100:.1f} cm vs shelf median {result.median_thickness_m*100:.1f} cm)\n"
+        "paper: all incorrectly ordered books are the thin ones",
+    )
+    assert 0.0 <= result.accuracy <= 1.0

@@ -1,0 +1,25 @@
+"""Figure 23: ordering latency CDF of STPP vs OTrack."""
+
+import numpy as np
+from conftest import emit, run_once
+
+from repro.evaluation.experiments import fig23_latency_cdf
+from repro.evaluation.latency import latency_cdf
+from repro.reporting.tables import format_table
+
+
+def test_fig23_latency_cdf(benchmark):
+    samples = run_once(benchmark, fig23_latency_cdf, bag_count=25)
+    rows = []
+    for scheme, scheme_samples in samples.items():
+        values, _ = latency_cdf(scheme_samples)
+        rows.append(
+            (scheme, f"{float(np.mean(values)):.3f} s", f"{float(np.median(values)):.3f} s", f"{float(values[-1]):.3f} s")
+        )
+    emit(
+        "Figure 23 — ordering latency (mean / median / max)",
+        format_table(("scheme", "mean", "median", "max"), rows)
+        + "\npaper: STPP averages ~1.47 s, slightly above OTrack",
+    )
+    mean_latency = {s: float(np.mean([x.latency_s for x in v])) for s, v in samples.items()}
+    assert mean_latency["STPP"] >= mean_latency["OTrack"] - 0.05

@@ -1,0 +1,21 @@
+"""Table 1: tag population within the reading zone vs ordering accuracy."""
+
+from conftest import emit, run_once
+
+from repro.evaluation.experiments import table1_population
+from repro.reporting.tables import format_accuracy_map
+
+
+def test_table1_population(benchmark):
+    result = run_once(
+        benchmark, table1_population, populations=(5, 10, 15, 20, 25, 30), repetitions=2
+    )
+    for case, values in result.items():
+        emit(
+            f"Table 1 — population vs accuracy ({case})",
+            format_accuracy_map({f"n={n}": acc for n, acc in values.items()})
+            + "\npaper: gentle degradation from n=5 to n=30; tag-moving > antenna-moving, X > Y",
+        )
+    for values in result.values():
+        populations = sorted(values)
+        assert values[populations[0]]["x"] >= values[populations[-1]]["x"] - 0.2

@@ -1,0 +1,16 @@
+"""Table 2: detection success rate for 1/2/3 misplaced books."""
+
+from conftest import emit, run_once
+
+from repro.evaluation.experiments import table2_misplaced_books
+from repro.reporting.tables import format_series
+
+
+def test_table2_misplaced_books(benchmark):
+    result = run_once(benchmark, table2_misplaced_books, repetitions=3)
+    emit(
+        "Table 2 — misplaced book detection success rate",
+        format_series({f"{k} book(s)": v for k, v in result.items()}, name="success rate")
+        + "\npaper: 98% / 97% / 98% for 1 / 2 / 3 misplaced books",
+    )
+    assert all(0.0 <= rate <= 1.0 for rate in result.values())

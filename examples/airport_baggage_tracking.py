@@ -1,0 +1,39 @@
+"""Airport case study: order baggage on a conveyor belt (paper §5.2).
+
+Simulates one peak-hour batch of bags riding a conveyor past a fixed antenna
+(the tag-moving case) and compares STPP's recovered order with G-RSSI's.
+
+Run with:  python examples/airport_baggage_tracking.py
+"""
+
+from repro.baselines import GRssiScheme, STPPScheme
+from repro.evaluation.metrics import ordering_accuracy
+from repro.simulation import collect_sweep, standard_tag_moving_scene
+from repro.workloads import MORNING_PEAK, baggage_batch
+
+
+def main() -> None:
+    # One batch of 15 bags during the morning peak (gaps of 5-20 cm).
+    batch = baggage_batch(MORNING_PEAK, bag_count=15, seed=3)
+    print(f"period {batch.period.name}: {len(batch.tags)} bags, "
+          f"gaps {batch.period.min_gap_m*100:.0f}-{batch.period.max_gap_m*100:.0f} cm")
+
+    # The belt carries the bags past a fixed antenna at 0.3 m/s.
+    scene = standard_tag_moving_scene(batch.tags, seed=3)
+    sweep = collect_sweep(scene)
+
+    truth = {tag.tag_id: tag.position.x for tag in batch.tags}
+    label = {tag.tag_id: tag.label for tag in batch.tags}
+
+    for scheme in (STPPScheme(), GRssiScheme()):
+        result = scheme.order(sweep.read_log, batch.tags.ids())
+        accuracy = ordering_accuracy(truth, result.x_ordering.ordered_ids)
+        first = [label[tid] for tid in result.x_ordering.ordered_ids[:5]]
+        print(f"\n{scheme.name}: belt-order accuracy {accuracy:.2f}")
+        print(f"  first bags reported: {first}")
+
+    print("\n(the paper reports STPP 96-97% vs G-RSSI 51-72% during peak hours)")
+
+
+if __name__ == "__main__":
+    main()

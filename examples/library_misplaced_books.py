@@ -1,0 +1,45 @@
+"""Library case study: find misplaced books on a shelf (paper §5.1).
+
+Generates a catalogued shelf, misplaces two books, sweeps the shelf with a
+simulated cart-mounted antenna, and uses STPP's recovered physical order to
+flag the misplaced books.
+
+Run with:  python examples/library_misplaced_books.py
+"""
+
+import numpy as np
+
+from repro.core import STPPConfig, STPPLocalizer
+from repro.simulation import collect_sweep, standard_antenna_moving_scene
+from repro.workloads import detect_misplaced_books, generate_bookshelf, misplace_books
+
+
+def main() -> None:
+    rng = np.random.default_rng(2015)
+
+    # A one-level shelf of 20 books, 3-8 cm thick, in catalogue order.
+    shelf = generate_bookshelf(levels=1, books_per_level=20, seed=7)
+    shuffled, truly_misplaced = misplace_books(shelf, count=2, rng=rng)
+    print(f"misplaced on purpose: {truly_misplaced}")
+
+    # Sweep the shelf.
+    tags = shuffled.to_tags(seed=7)
+    scene = standard_antenna_moving_scene(tags, seed=7)
+    sweep = collect_sweep(scene)
+
+    # Recover the physical order with STPP and compare with the catalogue.
+    localizer = STPPLocalizer(STPPConfig())
+    result = localizer.localize(sweep.profiles, expected_tag_ids=tags.ids())
+    label_by_id = {tag.tag_id: tag.label for tag in tags}
+    detected_physical = [label_by_id[tid] for tid in result.x_ordering.ordered_ids]
+
+    flagged = detect_misplaced_books(shuffled.catalogue_order(), detected_physical)
+    print(f"flagged as misplaced:  {flagged}")
+
+    found = [book for book in truly_misplaced if book in flagged]
+    print(f"\ndetected {len(found)}/{len(truly_misplaced)} genuinely misplaced books")
+    print("(the paper reports 97-98% detection success for 1-3 misplaced books)")
+
+
+if __name__ == "__main__":
+    main()

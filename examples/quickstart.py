@@ -1,0 +1,38 @@
+"""Quickstart: order a row of tags with STPP on a simulated sweep.
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.core import STPPConfig, STPPLocalizer
+from repro.evaluation.metrics import ordering_accuracy
+from repro.rf.geometry import Point3D
+from repro.rfid import make_tags
+from repro.simulation import collect_sweep, standard_antenna_moving_scene
+
+
+def main() -> None:
+    # 1. Lay out eight tags 8 cm apart on a plane (e.g. book spines on a shelf).
+    positions = [Point3D(i * 0.08, (i % 2) * 0.08, 0.0) for i in range(8)]
+    tags = make_tags(positions, seed=1)
+
+    # 2. Simulate a librarian pushing the antenna past them at ~0.3 m/s.
+    scene = standard_antenna_moving_scene(tags, seed=1)
+    sweep = collect_sweep(scene)
+    print(f"simulated sweep: {len(sweep.read_log)} tag reads over {sweep.duration_s:.1f} s")
+
+    # 3. Run STPP on the collected phase profiles.
+    localizer = STPPLocalizer(STPPConfig())
+    result = localizer.localize(sweep.profiles, expected_tag_ids=tags.ids())
+
+    # 4. Compare the recovered relative order with the ground truth.
+    true_x = {tag.tag_id: tag.position.x for tag in tags}
+    true_y = {tag.tag_id: tag.position.y for tag in tags}
+    print("\ndetected X order (left to right):")
+    for rank, tag_id in enumerate(result.x_ordering.ordered_ids):
+        print(f"  {rank + 1}. tag {tag_id[-6:]}  true x = {true_x[tag_id]*100:.0f} cm")
+    print(f"\nX ordering accuracy: {ordering_accuracy(true_x, result.x_ordering.ordered_ids):.2f}")
+    print(f"Y ordering accuracy: {ordering_accuracy(true_y, result.y_ordering.ordered_ids):.2f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+Kept alongside pyproject.toml so the package can be installed in environments
+without the ``wheel`` package / network access (``python setup.py develop``),
+e.g. offline evaluation machines.  Normal installs should use
+``pip install -e .``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,38 @@
+"""STPP — Relative Localization of RFID Tags using Spatial-Temporal Phase Profiling.
+
+A from-scratch reproduction of the NSDI'15 paper by Shangguan et al., built on
+a simulated COTS RFID deployment (reader, C1G2 protocol, backscatter channel,
+mobility) so that every experiment in the paper can be regenerated without the
+original hardware.
+
+Public API highlights
+---------------------
+* :class:`repro.core.STPPLocalizer` — the end-to-end relative localization
+  pipeline (the paper's contribution).
+* :mod:`repro.simulation` — scene builders that stand in for the physical
+  deployment.
+* :mod:`repro.baselines` — the four comparison schemes of the evaluation
+  (G-RSSI, OTrack, Landmarc, BackPos).
+* :mod:`repro.workloads` — the library-bookshelf and airport-baggage case
+  studies.
+* :mod:`repro.evaluation` — metrics, experiment runner, and one function per
+  paper table/figure.
+"""
+
+from . import baselines, core, evaluation, motion, rf, rfid, simulation, workloads
+from .core import STPPConfig, STPPLocalizer
+from .version import __version__
+
+__all__ = [
+    "STPPConfig",
+    "STPPLocalizer",
+    "__version__",
+    "baselines",
+    "core",
+    "evaluation",
+    "motion",
+    "rf",
+    "rfid",
+    "simulation",
+    "workloads",
+]

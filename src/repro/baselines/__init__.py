@@ -1,0 +1,29 @@
+"""Comparison schemes of the paper's evaluation (§4.4) plus an STPP adapter.
+
+All schemes consume the same COTS read log and expose the same interface, so
+the evaluation harness can score them side by side:
+
+* :class:`GRssiScheme` — peak-RSSI ordering (the strawman of §2.1);
+* :class:`OTrackScheme` — RSSI dynamics + reading-rate windows;
+* :class:`LandmarcScheme` — k-NN over reference-tag RSSI signatures;
+* :class:`BackPosScheme` — phase-difference hyperbolic positioning;
+* :class:`STPPScheme` — the paper's scheme behind the same interface.
+"""
+
+from .backpos import BackPosScheme
+from .base import OrderingScheme, SchemeResult
+from .g_rssi import GRssiScheme
+from .landmarc import LandmarcScheme, rssi_signature
+from .otrack import OTrackScheme
+from .stpp_scheme import STPPScheme
+
+__all__ = [
+    "BackPosScheme",
+    "GRssiScheme",
+    "LandmarcScheme",
+    "OTrackScheme",
+    "OrderingScheme",
+    "STPPScheme",
+    "SchemeResult",
+    "rssi_signature",
+]

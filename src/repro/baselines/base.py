@@ -1,0 +1,51 @@
+"""Common interface of the comparison ordering schemes (paper §4.4).
+
+Every baseline consumes the same read log a real COTS reader produces and
+returns an :class:`~repro.core.result.AxisOrdering` per axis, so the
+evaluation harness can score STPP and the baselines identically.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+from ..core.result import AxisOrdering
+from ..rfid.reading import ReadLog
+
+
+@dataclass(frozen=True)
+class SchemeResult:
+    """X/Y orderings produced by one scheme on one sweep."""
+
+    scheme: str
+    x_ordering: AxisOrdering
+    y_ordering: AxisOrdering
+    metadata: dict = field(default_factory=dict)
+
+
+class OrderingScheme(ABC):
+    """A relative-localization scheme implementable on COTS readers."""
+
+    #: Human-readable scheme name used in result tables.
+    name: str = "scheme"
+
+    @abstractmethod
+    def order(self, read_log: ReadLog, expected_tag_ids: list[str]) -> SchemeResult:
+        """Order ``expected_tag_ids`` along X and Y from ``read_log``.
+
+        Implementations must not peek at ground-truth tag positions; they may
+        only use the read log (timestamps, phases, RSSI, antenna ports) plus
+        whatever reference infrastructure the original scheme assumes (e.g.
+        Landmarc's reference tags), which is passed to their constructor.
+        """
+
+    def _axis(self, axis: str, ordered: list[str], scores: dict[str, float], expected: list[str]) -> AxisOrdering:
+        """Helper assembling an AxisOrdering with unordered bookkeeping."""
+        missing = tuple(tag_id for tag_id in expected if tag_id not in ordered)
+        return AxisOrdering(
+            axis=axis,
+            ordered_ids=tuple(ordered),
+            scores=scores,
+            unordered_ids=missing,
+        )

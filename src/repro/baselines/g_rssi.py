@@ -1,0 +1,61 @@
+"""G-RSSI baseline: order tags by the time (and strength) of their RSSI peak.
+
+This is the straightforward scheme the paper evaluates first (§2.1, §4.4): as
+the antenna passes a tag, the tag's RSSI should rise and fall, so the time of
+the RSSI peak should reveal the passing order, and the peak magnitude should
+reveal how close the tag is to the trajectory.  Multipath makes both
+assumptions unreliable (Figure 2), which is why the scheme performs poorly —
+reproducing that failure is the point of including it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rfid.reading import ReadLog
+from .base import OrderingScheme, SchemeResult
+
+
+def _smooth(values: np.ndarray, width: int) -> np.ndarray:
+    """Moving average with edge padding."""
+    if values.size < width or width < 2:
+        return values
+    pad = width // 2
+    padded = np.pad(values, pad, mode="edge")
+    kernel = np.ones(width, dtype=float) / width
+    return np.convolve(padded, kernel, mode="valid")[: values.size]
+
+
+@dataclass
+class GRssiScheme(OrderingScheme):
+    """Peak-RSSI ordering along X, peak-RSSI-magnitude ordering along Y."""
+
+    smoothing_window: int = 7
+    """Samples in the RSSI moving average before peak picking."""
+
+    name: str = "G-RSSI"
+
+    def order(self, read_log: ReadLog, expected_tag_ids: list[str]) -> SchemeResult:
+        peak_times: dict[str, float] = {}
+        peak_values: dict[str, float] = {}
+        for tag_id in expected_tag_ids:
+            times = read_log.timestamps(tag_id)
+            rssi = read_log.rssis(tag_id)
+            if times.size == 0:
+                continue
+            smoothed = _smooth(rssi, self.smoothing_window)
+            peak_index = int(np.argmax(smoothed))
+            peak_times[tag_id] = float(times[peak_index])
+            peak_values[tag_id] = float(smoothed[peak_index])
+
+        ordered_x = sorted(peak_times, key=lambda tid: peak_times[tid])
+        # Stronger peak RSSI is assumed to mean closer to the trajectory.
+        ordered_y = sorted(peak_values, key=lambda tid: -peak_values[tid])
+
+        return SchemeResult(
+            scheme=self.name,
+            x_ordering=self._axis("x", ordered_x, peak_times, expected_tag_ids),
+            y_ordering=self._axis("y", ordered_y, peak_values, expected_tag_ids),
+        )

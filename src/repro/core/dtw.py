@@ -1,0 +1,213 @@
+"""Dynamic Time Warping: classic, subsequence, and segmented variants.
+
+STPP matches a *reference* phase profile (computed from nominal geometry)
+against the *measured* profile of each tag to locate the V-zone (paper
+§3.1.1).  Because the reader is moved by hand, the measured profile is locally
+stretched and compressed; DTW absorbs those warps.  The paper's efficiency
+optimisation (§3.1.2) runs DTW on the coarse segment representation instead of
+raw samples, with a range-gap distance and a duration-weighted cost.
+
+Two alignment modes are provided:
+
+* **full** alignment maps the entire reference onto the entire measured
+  profile (the textbook DTW recurrence);
+* **subsequence** alignment leaves the start and end of the *measured* side
+  free, i.e. it finds the measured subrange that best matches the whole
+  reference.  This is the mode V-zone detection uses, because a measured
+  profile usually contains more periods than the 4-period reference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .segmentation import (
+    Segment,
+    segment_distance_matrix,
+    segment_duration_weights,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class DTWResult:
+    """Outcome of a DTW alignment."""
+
+    cost: float
+    """Total cost of the optimal warping path."""
+
+    path: tuple[tuple[int, int], ...]
+    """The optimal warping path as (reference index, query index) pairs."""
+
+    query_start: int
+    """First query index touched by the path."""
+
+    query_end: int
+    """Last query index touched by the path (inclusive)."""
+
+    def query_indices_for_reference_range(self, ref_start: int, ref_end: int) -> tuple[int, int]:
+        """Query index range matched to reference indices ``[ref_start, ref_end]``.
+
+        Returns an inclusive ``(start, end)`` pair.  Raises ``ValueError`` when
+        the reference range is not touched by the path (cannot happen for a
+        valid path and a range inside the reference).
+        """
+        matched = [q for r, q in self.path if ref_start <= r <= ref_end]
+        if not matched:
+            raise ValueError(
+                f"reference range [{ref_start}, {ref_end}] not covered by warping path"
+            )
+        return min(matched), max(matched)
+
+
+def _backtrack(
+    cost: np.ndarray, start_col: int | None = None
+) -> tuple[tuple[int, int], ...]:
+    """Backtrack the optimal path through an accumulated cost matrix.
+
+    ``start_col`` selects the ending column (used by subsequence DTW); when
+    None the path ends at the bottom-right corner.
+    """
+    rows, cols = cost.shape
+    i = rows - 1
+    j = cols - 1 if start_col is None else start_col
+    path = [(i, j)]
+    while i > 0 or j > 0:
+        if i == 0:
+            if start_col is not None:
+                break  # free start: stop as soon as the first reference row is reached
+            j -= 1
+        elif j == 0:
+            i -= 1
+        else:
+            candidates = (
+                (cost[i - 1, j - 1], i - 1, j - 1),
+                (cost[i - 1, j], i - 1, j),
+                (cost[i, j - 1], i, j - 1),
+            )
+            _, i, j = min(candidates, key=lambda item: item[0])
+        path.append((i, j))
+    path.reverse()
+    return tuple(path)
+
+
+def _accumulate(
+    distance: np.ndarray,
+    weights: np.ndarray | None,
+    free_query_start: bool,
+) -> np.ndarray:
+    """Build the accumulated cost matrix for (optionally weighted) DTW."""
+    rows, cols = distance.shape
+    if weights is None:
+        weighted = distance
+    else:
+        weighted = distance * weights
+    cost = np.full((rows, cols), np.inf, dtype=float)
+    cost[0, 0] = weighted[0, 0]
+    if free_query_start:
+        cost[0, :] = weighted[0, :]
+    else:
+        for j in range(1, cols):
+            cost[0, j] = cost[0, j - 1] + weighted[0, j]
+    for i in range(1, rows):
+        cost[i, 0] = cost[i - 1, 0] + weighted[i, 0]
+        row_prev = cost[i - 1]
+        row_curr = cost[i]
+        for j in range(1, cols):
+            best_prev = min(row_prev[j - 1], row_prev[j], row_curr[j - 1])
+            row_curr[j] = weighted[i, j] + best_prev
+    return cost
+
+
+def dtw_align(reference: np.ndarray, query: np.ndarray) -> DTWResult:
+    """Full DTW alignment of two 1-D value sequences (paper §3.1.1).
+
+    The element distance is the absolute difference of values, matching the
+    Euclidean distance the paper uses on scalar phase samples.
+    """
+    reference = np.asarray(reference, dtype=float)
+    query = np.asarray(query, dtype=float)
+    if reference.size == 0 or query.size == 0:
+        raise ValueError("both sequences must be non-empty")
+    distance = np.abs(reference[:, None] - query[None, :])
+    cost = _accumulate(distance, weights=None, free_query_start=False)
+    path = _backtrack(cost)
+    return DTWResult(
+        cost=float(cost[-1, -1]),
+        path=path,
+        query_start=path[0][1],
+        query_end=path[-1][1],
+    )
+
+
+def subsequence_dtw(reference: np.ndarray, query: np.ndarray) -> DTWResult:
+    """Match the whole ``reference`` to the best subrange of ``query``.
+
+    The query start and end are left free (classic subsequence DTW): the
+    returned ``query_start``/``query_end`` delimit the matched subrange.
+    """
+    reference = np.asarray(reference, dtype=float)
+    query = np.asarray(query, dtype=float)
+    if reference.size == 0 or query.size == 0:
+        raise ValueError("both sequences must be non-empty")
+    distance = np.abs(reference[:, None] - query[None, :])
+    cost = _accumulate(distance, weights=None, free_query_start=True)
+    end_col = int(np.argmin(cost[-1]))
+    path = _backtrack(cost, start_col=end_col)
+    return DTWResult(
+        cost=float(cost[-1, end_col]),
+        path=path,
+        query_start=path[0][1],
+        query_end=path[-1][1],
+    )
+
+
+def segmented_dtw_align(
+    reference_segments: list[Segment],
+    query_segments: list[Segment],
+    subsequence: bool = True,
+) -> DTWResult:
+    """Segmented DTW (paper §3.1.2) between two segmentations.
+
+    The per-cell distance is the gap between segment phase ranges; the cost of
+    matching two segments is that distance weighted by the shorter of the two
+    segment durations — both exactly as defined in the paper.  With
+    ``subsequence=True`` the query's start and end are free, which is how the
+    V-zone of a short reference is located inside a long measured profile.
+    """
+    if not reference_segments or not query_segments:
+        raise ValueError("both segmentations must be non-empty")
+    distance = segment_distance_matrix(reference_segments, query_segments)
+    weights = segment_duration_weights(reference_segments, query_segments)
+    cost = _accumulate(distance, weights=weights, free_query_start=subsequence)
+    if subsequence:
+        end_col = int(np.argmin(cost[-1]))
+        path = _backtrack(cost, start_col=end_col)
+        total = float(cost[-1, end_col])
+    else:
+        path = _backtrack(cost)
+        total = float(cost[-1, -1])
+    return DTWResult(
+        cost=total,
+        path=path,
+        query_start=path[0][1],
+        query_end=path[-1][1],
+    )
+
+
+def warp_query_to_reference(result: DTWResult, query_values: np.ndarray) -> np.ndarray:
+    """Re-sample ``query_values`` onto the reference index axis along the path.
+
+    For each reference index the matched query values are averaged; used to
+    visualise the "after warping" alignment of Figure 7.
+    """
+    query_values = np.asarray(query_values, dtype=float)
+    ref_length = max(r for r, _ in result.path) + 1
+    sums = np.zeros(ref_length, dtype=float)
+    counts = np.zeros(ref_length, dtype=float)
+    for ref_index, query_index in result.path:
+        sums[ref_index] += query_values[query_index]
+        counts[ref_index] += 1.0
+    counts[counts == 0] = 1.0
+    return sums / counts

@@ -1,0 +1,61 @@
+"""Result types returned by the STPP pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .vzone import VZone
+
+
+@dataclass(frozen=True)
+class AxisOrdering:
+    """The relative order of tags along one axis."""
+
+    axis: str
+    """'x' or 'y'."""
+
+    ordered_ids: tuple[str, ...]
+    """Tag ids from smallest to largest coordinate along the axis."""
+
+    scores: dict[str, float] = field(default_factory=dict)
+    """Per-tag score that produced the order (bottom time for X, depth gap for Y)."""
+
+    unordered_ids: tuple[str, ...] = ()
+    """Tags that could not be ordered (no usable profile / V-zone)."""
+
+    def position_of(self, tag_id: str) -> int:
+        """Zero-based rank of ``tag_id`` along this axis.
+
+        Raises ``KeyError`` for tags that were not ordered.
+        """
+        try:
+            return self.ordered_ids.index(tag_id)
+        except ValueError as exc:
+            raise KeyError(f"tag {tag_id} was not ordered along {self.axis}") from exc
+
+    def __len__(self) -> int:
+        return len(self.ordered_ids)
+
+
+@dataclass(frozen=True)
+class LocalizationResult:
+    """Full output of one STPP localization run."""
+
+    x_ordering: AxisOrdering
+    y_ordering: AxisOrdering
+    vzones: dict[str, VZone] = field(default_factory=dict)
+    """Detected V-zone per tag (only tags with a successful detection)."""
+
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def ordered_tag_count(self) -> int:
+        """Number of tags that received an X-axis rank."""
+        return len(self.x_ordering.ordered_ids)
+
+    def relative_position(self, tag_id: str) -> tuple[int, int]:
+        """(x rank, y rank) of ``tag_id``; raises KeyError if unordered."""
+        return (
+            self.x_ordering.position_of(tag_id),
+            self.y_ordering.position_of(tag_id),
+        )

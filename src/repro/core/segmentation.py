@@ -1,0 +1,200 @@
+"""Coarse-grained segment representation of phase profiles (paper §3.1.2).
+
+To make V-zone detection cheap, STPP does not run DTW on raw samples.  A phase
+profile of length ``M`` is split into segments of ``w`` samples; each segment
+records its phase *range* (min and max) and its *time interval*, and DTW runs
+on the segment sequence, reducing the cost from ``O(MN)`` to ``O(MN/w²)``.
+Segments never span a 0/2π phase jump: whenever the wrapped phase jumps, the
+segment is split at the jump (see Figure 8 of the paper).
+
+The same module provides the equal-count mean-value representation used for
+Y-axis ordering (paper §3.2.1): the V-zone is split into ``k`` equal segments
+and each segment is summarised by its mean phase value.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..rf.constants import TWO_PI
+from .phase_profile import PhaseProfile
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """One coarse segment of a phase profile."""
+
+    start_index: int
+    """Index of the first sample of the segment in the original profile."""
+
+    end_index: int
+    """Index one past the last sample of the segment."""
+
+    start_time_s: float
+    end_time_s: float
+    min_phase_rad: float
+    """``s^L`` in the paper: the smallest phase value within the segment."""
+
+    max_phase_rad: float
+    """``s^U`` in the paper: the largest phase value within the segment."""
+
+    def __post_init__(self) -> None:
+        if self.end_index <= self.start_index:
+            raise ValueError("segment must contain at least one sample")
+        if self.max_phase_rad < self.min_phase_rad:
+            raise ValueError("segment max phase must be >= min phase")
+
+    @property
+    def sample_count(self) -> int:
+        """Number of samples the segment covers."""
+        return self.end_index - self.start_index
+
+    @property
+    def duration_s(self) -> float:
+        """Time interval ``s^T`` of the segment, in seconds."""
+        return self.end_time_s - self.start_time_s
+
+    @property
+    def phase_range_rad(self) -> float:
+        """Height of the segment's phase range."""
+        return self.max_phase_rad - self.min_phase_rad
+
+
+def _phase_jump_indices(phases: np.ndarray, jump_threshold_rad: float) -> np.ndarray:
+    """Indices ``i`` such that a 0/2π wrap occurs between samples ``i-1`` and ``i``."""
+    if phases.size < 2:
+        return np.array([], dtype=int)
+    diffs = np.abs(np.diff(phases))
+    return np.nonzero(diffs > jump_threshold_rad)[0] + 1
+
+
+def segment_profile(
+    profile: PhaseProfile,
+    window_size: int,
+    jump_threshold_rad: float = 0.75 * TWO_PI,
+) -> list[Segment]:
+    """Split ``profile`` into segments of ``window_size`` samples.
+
+    Segments are split additionally at every 0/2π phase jump so that no
+    segment contains a wrap (paper §3.1.2).  The last segment may be shorter
+    than ``window_size``.
+
+    Parameters
+    ----------
+    profile:
+        The phase profile to segment.
+    window_size:
+        Target number of samples per segment (``w`` in the paper); must be
+        at least 1.
+    jump_threshold_rad:
+        A sample-to-sample phase difference larger than this is treated as a
+        wrap.  The default (1.5π) only triggers on genuine wraps, not on noise.
+    """
+    if window_size < 1:
+        raise ValueError(f"window size must be >= 1, got {window_size}")
+    if profile.is_empty:
+        return []
+
+    phases = profile.phases_rad
+    times = profile.timestamps_s
+    jump_set = set(int(i) for i in _phase_jump_indices(phases, jump_threshold_rad))
+
+    segments: list[Segment] = []
+    start = 0
+    for index in range(1, len(profile) + 1):
+        window_full = (index - start) >= window_size
+        at_jump = index in jump_set
+        at_end = index == len(profile)
+        if not (window_full or at_jump or at_end):
+            continue
+        chunk_phases = phases[start:index]
+        segments.append(
+            Segment(
+                start_index=start,
+                end_index=index,
+                start_time_s=float(times[start]),
+                end_time_s=float(times[index - 1]),
+                min_phase_rad=float(np.min(chunk_phases)),
+                max_phase_rad=float(np.max(chunk_phases)),
+            )
+        )
+        start = index
+        if at_end:
+            break
+    return segments
+
+
+def segment_range_distance(a: Segment, b: Segment) -> float:
+    """Distance between two segments: the gap between their phase ranges.
+
+    This is the paper's ``D_{i,j}``: zero when the ranges overlap, otherwise
+    the distance between the two closest points of the ranges.
+    """
+    if a.min_phase_rad > b.max_phase_rad:
+        return a.min_phase_rad - b.max_phase_rad
+    if b.min_phase_rad > a.max_phase_rad:
+        return b.min_phase_rad - a.max_phase_rad
+    return 0.0
+
+
+def segment_distance_matrix(left: list[Segment], right: list[Segment]) -> np.ndarray:
+    """Matrix of :func:`segment_range_distance` values between two segmentations."""
+    matrix = np.zeros((len(left), len(right)), dtype=float)
+    for i, seg_a in enumerate(left):
+        for j, seg_b in enumerate(right):
+            matrix[i, j] = segment_range_distance(seg_a, seg_b)
+    return matrix
+
+
+def segment_duration_weights(left: list[Segment], right: list[Segment]) -> np.ndarray:
+    """Matrix of ``min(s^T_P,i, s^T_Q,j)`` weights used in the segmented DTW cost."""
+    left_durations = np.array([max(seg.duration_s, 1e-6) for seg in left], dtype=float)
+    right_durations = np.array([max(seg.duration_s, 1e-6) for seg in right], dtype=float)
+    return np.minimum(left_durations[:, None], right_durations[None, :])
+
+
+@dataclass(frozen=True, slots=True)
+class CoarseRepresentation:
+    """Equal-count mean-value representation of a V-zone profile (paper §3.2.1)."""
+
+    tag_id: str
+    segment_means_rad: np.ndarray
+    """Mean phase value of each of the ``k`` segments (``s_{P,i}`` in the paper)."""
+
+    segment_count: int
+
+    def __post_init__(self) -> None:
+        means = np.asarray(self.segment_means_rad, dtype=float)
+        object.__setattr__(self, "segment_means_rad", means)
+        if means.ndim != 1:
+            raise ValueError("segment means must be one-dimensional")
+        if means.size != self.segment_count:
+            raise ValueError(
+                f"expected {self.segment_count} segment means, got {means.size}"
+            )
+
+
+def coarse_representation(
+    tag_id: str,
+    values: np.ndarray,
+    segment_count: int,
+) -> CoarseRepresentation:
+    """Split ``values`` into ``segment_count`` equal chunks and average each.
+
+    Averaging suppresses per-sample phase noise; since each chunk corresponds
+    to one time window, the chunk mean reflects the accumulated phase changing
+    rate within that window (paper §3.2.1).
+    """
+    if segment_count < 1:
+        raise ValueError(f"segment count must be >= 1, got {segment_count}")
+    values = np.asarray(values, dtype=float)
+    if values.size < segment_count:
+        raise ValueError(
+            f"need at least {segment_count} values to build {segment_count} segments, "
+            f"got {values.size}"
+        )
+    chunks = np.array_split(values, segment_count)
+    means = np.array([float(np.mean(chunk)) for chunk in chunks], dtype=float)
+    return CoarseRepresentation(tag_id=tag_id, segment_means_rad=means, segment_count=segment_count)

@@ -1,0 +1,41 @@
+"""Evaluation harness: metrics, experiment runner, and per-figure experiments."""
+
+from . import experiments
+from .latency import LatencySample, latency_cdf, measure_scheme_latency
+from .metrics import (
+    OrderingEvaluation,
+    detection_success_rate,
+    evaluate_ordering,
+    ordering_accuracy,
+    pairwise_order_accuracy,
+    strict_ordering_accuracy,
+    summarise,
+)
+from .runner import (
+    SchemeRun,
+    SweepExperiment,
+    build_experiment,
+    mean_accuracy,
+    run_stpp,
+    standard_experiment,
+)
+
+__all__ = [
+    "LatencySample",
+    "OrderingEvaluation",
+    "SchemeRun",
+    "SweepExperiment",
+    "build_experiment",
+    "detection_success_rate",
+    "evaluate_ordering",
+    "experiments",
+    "latency_cdf",
+    "mean_accuracy",
+    "measure_scheme_latency",
+    "ordering_accuracy",
+    "pairwise_order_accuracy",
+    "run_stpp",
+    "standard_experiment",
+    "strict_ordering_accuracy",
+    "summarise",
+]

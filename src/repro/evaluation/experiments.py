@@ -1,0 +1,797 @@
+"""One function per table/figure of the paper's evaluation.
+
+Every function regenerates the data behind one of the paper's results using
+the simulated deployment.  The benchmark suite (``benchmarks/``) calls these
+functions and prints the rows/series next to the paper's numbers;
+EXPERIMENTS.md records the comparison.
+
+All functions take a ``repetitions`` / scale parameter so the benchmarks can
+run at a tractable size; the defaults are chosen to finish in seconds while
+still exhibiting the paper's trends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..baselines import (
+    BackPosScheme,
+    GRssiScheme,
+    LandmarcScheme,
+    OTrackScheme,
+    STPPScheme,
+)
+from ..core.dtw import segmented_dtw_align, subsequence_dtw
+from ..core.fitting import fit_vzone_profile
+from ..core.localizer import STPPConfig, STPPLocalizer
+from ..core.reference import canonical_reference, reference_profile
+from ..core.segmentation import segment_profile
+from ..core.vzone import VZoneDetector
+from ..rf.geometry import Point3D
+from ..rfid.tag import make_tags
+from ..simulation.collector import collect_sweep, profiles_from_read_log
+from ..simulation.presets import (
+    standard_antenna_moving_scene,
+    standard_tag_moving_scene,
+)
+from ..workloads.airport import PAPER_PERIODS, TrafficPeriod, period_batches
+from ..workloads.layouts import (
+    grid_layout,
+    paper_test_cases,
+    random_spacing_row,
+    reference_tag_grid,
+    row_layout,
+    staircase_layout,
+)
+from ..workloads.library import (
+    detect_misplaced_books,
+    generate_bookshelf,
+    misplace_books,
+)
+from .latency import LatencySample, measure_scheme_latency
+from .metrics import detection_success_rate, ordering_accuracy, summarise
+from .runner import SweepExperiment, mean_accuracy, run_stpp, standard_experiment
+
+# --------------------------------------------------------------------------
+# Section 2 figures: motivation and phase-profile anatomy
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RssiLimitationResult:
+    """Data behind Figure 2: peak RSSI order vs physical order."""
+
+    times_ms: dict[str, np.ndarray]
+    rssi_dbm: dict[str, np.ndarray]
+    peak_time_s: dict[str, float]
+    physical_order: list[str]
+    peak_order: list[str]
+
+    @property
+    def peak_order_matches_physical(self) -> bool:
+        """True when ordering by RSSI peaks reproduces the physical order."""
+        return self.peak_order == self.physical_order
+
+
+def fig02_rssi_limitation(seed: int = 3, spacing_m: float = 0.13) -> RssiLimitationResult:
+    """Figure 2: RSSI fluctuates under multipath; its peak misorders tags."""
+    positions = [Point3D(0.3, 0.0, 0.0), Point3D(0.3 + spacing_m, 0.0, 0.0)]
+    tags = make_tags(positions, seed=seed)
+    scene = standard_antenna_moving_scene(tags, speed_mps=0.1, seed=seed)
+    sweep = collect_sweep(scene)
+    times_ms: dict[str, np.ndarray] = {}
+    rssi: dict[str, np.ndarray] = {}
+    peak_time: dict[str, float] = {}
+    for tag in tags:
+        profile = sweep.profiles[tag.tag_id]
+        times_ms[tag.tag_id] = profile.timestamps_ms()
+        rssi[tag.tag_id] = profile.rssi_dbm
+        peak_time[tag.tag_id] = float(
+            profile.timestamps_s[int(np.argmax(profile.rssi_dbm))]
+        )
+    physical = tags.order_along("x")
+    peak_order = sorted(peak_time, key=lambda tid: peak_time[tid])
+    return RssiLimitationResult(
+        times_ms=times_ms,
+        rssi_dbm=rssi,
+        peak_time_s=peak_time,
+        physical_order=physical,
+        peak_order=peak_order,
+    )
+
+
+@dataclass(frozen=True)
+class ReferenceProfilePair:
+    """Two reference profiles and the separation of their V-zone bottoms."""
+
+    spacing_m: float
+    bottom_gap_s: float
+    bottom_phase_gap_rad: float
+    profile_lengths: tuple[int, int]
+
+
+def fig03_reference_profiles_x(
+    spacings_m: tuple[float, ...] = (0.05, 0.10)
+) -> dict[float, ReferenceProfilePair]:
+    """Figure 3: X spacing separates reference V-zone bottoms in *time*."""
+    results: dict[float, ReferenceProfilePair] = {}
+    for spacing in spacings_m:
+        ref_a = reference_profile(
+            tag_x_m=1.45, perpendicular_distance_m=1.118,
+            sweep_start_x_m=0.0, sweep_end_x_m=3.0, speed_mps=0.1,
+        )
+        ref_b = reference_profile(
+            tag_x_m=1.45 + spacing, perpendicular_distance_m=1.118,
+            sweep_start_x_m=0.0, sweep_end_x_m=3.0, speed_mps=0.1,
+        )
+        results[spacing] = ReferenceProfilePair(
+            spacing_m=spacing,
+            bottom_gap_s=ref_b.perpendicular_time_s - ref_a.perpendicular_time_s,
+            bottom_phase_gap_rad=abs(
+                float(ref_b.profile.phases_rad[ref_b.vzone_start_index:ref_b.vzone_end_index].min())
+                - float(ref_a.profile.phases_rad[ref_a.vzone_start_index:ref_a.vzone_end_index].min())
+            ),
+            profile_lengths=(len(ref_a.profile), len(ref_b.profile)),
+        )
+    return results
+
+
+def fig04_reference_profiles_y(
+    spacings_m: tuple[float, ...] = (0.05, 0.10)
+) -> dict[float, ReferenceProfilePair]:
+    """Figure 4: Y spacing changes the V-zone *depth/shape*, not its time."""
+    results: dict[float, ReferenceProfilePair] = {}
+    base_distance = 1.0
+    for spacing in spacings_m:
+        ref_a = reference_profile(
+            tag_x_m=1.5, perpendicular_distance_m=np.hypot(base_distance, 0.5),
+            sweep_start_x_m=0.0, sweep_end_x_m=3.0, speed_mps=0.1,
+        )
+        ref_b = reference_profile(
+            tag_x_m=1.5, perpendicular_distance_m=np.hypot(base_distance, 0.5 + spacing),
+            sweep_start_x_m=0.0, sweep_end_x_m=3.0, speed_mps=0.1,
+        )
+        fit_a = fit_vzone_profile(ref_a.vzone_profile)
+        fit_b = fit_vzone_profile(ref_b.vzone_profile)
+        results[spacing] = ReferenceProfilePair(
+            spacing_m=spacing,
+            bottom_gap_s=abs(ref_b.perpendicular_time_s - ref_a.perpendicular_time_s),
+            bottom_phase_gap_rad=abs(fit_a.curvature - fit_b.curvature),
+            profile_lengths=(len(ref_a.profile), len(ref_b.profile)),
+        )
+    return results
+
+
+@dataclass(frozen=True)
+class MeasuredProfileResult:
+    """Data behind Figures 5/6: measured (noisy, fragmentary) phase profiles."""
+
+    spacing_m: float
+    bottom_gap_s: float
+    sample_counts: tuple[int, ...]
+    dropout_fraction: float
+    """Fraction of inventory opportunities lost to fades/dropouts (fragmentation)."""
+
+
+def _measured_pair(
+    positions: list[Point3D], seed: int, speed_mps: float = 0.1
+) -> tuple[MeasuredProfileResult, SweepExperiment]:
+    experiment = standard_experiment(positions, seed=seed, speed_mps=speed_mps)
+    localizer = STPPLocalizer(STPPConfig(reference_speed_mps=speed_mps))
+    profiles = profiles_from_read_log(experiment.read_log)
+    result = localizer.localize(profiles, expected_tag_ids=experiment.target_ids)
+    bottoms = [vz.bottom_time_s for vz in result.vzones.values()]
+    counts = tuple(len(profiles[tid]) for tid in experiment.target_ids if tid in profiles)
+    duration = experiment.read_log.duration_s()
+    expected_reads = duration * 120.0
+    total_reads = len(experiment.read_log)
+    dropout = max(0.0, 1.0 - total_reads / max(expected_reads, 1.0))
+    measured = MeasuredProfileResult(
+        spacing_m=abs(positions[1].x - positions[0].x) or abs(positions[1].y - positions[0].y),
+        bottom_gap_s=abs(bottoms[1] - bottoms[0]) if len(bottoms) >= 2 else float("nan"),
+        sample_counts=counts,
+        dropout_fraction=float(dropout),
+    )
+    return measured, experiment
+
+
+def fig05_measured_profiles_x(
+    spacings_m: tuple[float, ...] = (0.05, 0.10), seed: int = 1
+) -> dict[float, MeasuredProfileResult]:
+    """Figure 5: measured profiles along X still separate in bottom time."""
+    results = {}
+    for spacing in spacings_m:
+        positions = [Point3D(0.4, 0.0, 0.0), Point3D(0.4 + spacing, 0.0, 0.0)]
+        results[spacing], _ = _measured_pair(positions, seed)
+    return results
+
+
+def fig06_measured_profiles_y(
+    spacings_m: tuple[float, ...] = (0.05, 0.10), seed: int = 1
+) -> dict[float, MeasuredProfileResult]:
+    """Figure 6: measured profiles along Y differ in V-zone shape."""
+    results = {}
+    for spacing in spacings_m:
+        positions = [Point3D(0.4, 0.0, 0.0), Point3D(0.4, spacing, 0.0)]
+        # The standard micro-benchmark sweep speed keeps the profiles short
+        # enough for a clean side-by-side V-zone comparison.
+        results[spacing], _ = _measured_pair(positions, seed, speed_mps=0.3)
+    return results
+
+
+# --------------------------------------------------------------------------
+# Section 3 figures: the STPP machinery itself
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DTWAlignmentResult:
+    """Data behind Figure 7: V-zone located by (segmented) DTW."""
+
+    dtw_cost: float
+    detected_bottom_time_s: float
+    true_perpendicular_time_s: float
+    bottom_error_s: float
+    detected_window_s: tuple[float, float]
+
+
+def fig07_dtw_alignment(seed: int = 2) -> DTWAlignmentResult:
+    """Figure 7: match the reference profile into a measured profile via DTW."""
+    positions = row_layout(3, 0.15)
+    experiment = standard_experiment(positions, seed=seed)
+    profiles = profiles_from_read_log(experiment.read_log)
+    detector = VZoneDetector(method="segmented_dtw", fallback_to_longest_run=False)
+    middle_tag = experiment.target_ids[1]
+    vzone = detector.detect(profiles[middle_tag])
+    if vzone is None:
+        raise RuntimeError("V-zone detection failed on the Figure 7 scenario")
+    true_x = experiment.true_x[middle_tag]
+    # Recover the true perpendicular time by scanning the known trajectory.
+    times = np.linspace(0.0, experiment.scene.scenario.duration_s, 2000)
+    antenna_x = np.array(
+        [experiment.scene.scenario.antenna_position(t).x for t in times]
+    )
+    true_time = float(times[int(np.argmin(np.abs(antenna_x - true_x)))])
+    return DTWAlignmentResult(
+        dtw_cost=vzone.dtw_cost,
+        detected_bottom_time_s=vzone.bottom_time_s,
+        true_perpendicular_time_s=true_time,
+        bottom_error_s=abs(vzone.bottom_time_s - true_time),
+        detected_window_s=(vzone.start_time_s, vzone.end_time_s),
+    )
+
+
+@dataclass(frozen=True)
+class SegmentationResult:
+    """Data behind Figure 8: the coarse segment representation."""
+
+    sample_count: int
+    segment_count: int
+    window_size: int
+    compression_ratio: float
+    wrap_splits: int
+
+
+def fig08_segmentation(seed: int = 2, window_size: int = 5) -> SegmentationResult:
+    """Figure 8: a measured profile reduced to range/interval segments."""
+    experiment = standard_experiment(row_layout(1, 0.1), seed=seed, speed_mps=0.1)
+    profiles = profiles_from_read_log(experiment.read_log)
+    profile = profiles[experiment.target_ids[0]]
+    segments = segment_profile(profile, window_size)
+    plain_segment_count = int(np.ceil(len(profile) / window_size))
+    return SegmentationResult(
+        sample_count=len(profile),
+        segment_count=len(segments),
+        window_size=window_size,
+        compression_ratio=len(profile) / max(len(segments), 1),
+        wrap_splits=len(segments) - plain_segment_count,
+    )
+
+
+@dataclass(frozen=True)
+class QuadraticFittingResult:
+    """Data behind Figure 9: three tags ordered by fitted bottom times."""
+
+    detected_order: list[str]
+    true_order: list[str]
+    bottom_times_s: dict[str, float]
+    correct: bool
+
+
+def fig09_quadratic_fitting(seed: int = 5) -> QuadraticFittingResult:
+    """Figure 9: quadratic fits order tags 15 cm and 2 cm apart."""
+    # Tag 03 -- 15cm -- Tag 01 -- 2cm -- Tag 02, matching the paper's example.
+    positions = [Point3D(0.15, 0.0, 0.0), Point3D(0.17, 0.0, 0.0), Point3D(0.0, 0.0, 0.0)]
+    experiment = standard_experiment(positions, seed=seed, speed_mps=0.1)
+    evaluation, _ = run_stpp(experiment, STPPConfig(reference_speed_mps=0.1))
+    localizer = STPPLocalizer(STPPConfig(reference_speed_mps=0.1))
+    profiles = profiles_from_read_log(experiment.read_log)
+    result = localizer.localize(profiles, expected_tag_ids=experiment.target_ids)
+    true_order = sorted(experiment.target_ids, key=lambda tid: experiment.true_x[tid])
+    return QuadraticFittingResult(
+        detected_order=list(result.x_ordering.ordered_ids),
+        true_order=true_order,
+        bottom_times_s=dict(result.x_ordering.scores),
+        correct=evaluation.accuracy_x == 1.0,
+    )
+
+
+# --------------------------------------------------------------------------
+# Section 4 micro-benchmarks
+# --------------------------------------------------------------------------
+
+
+def fig12_window_size(
+    window_sizes: tuple[int, ...] = (1, 3, 5, 7, 9),
+    repetitions: int = 3,
+    tag_count: int = 8,
+    spacing_m: float = 0.08,
+) -> dict[str, dict[int, float]]:
+    """Figure 12: coarse-segment window size vs ordering accuracy."""
+    results: dict[str, dict[int, float]] = {"tag_moving": {}, "antenna_moving": {}}
+    for case, tag_moving in (("tag_moving", True), ("antenna_moving", False)):
+        for window in window_sizes:
+            evaluations = []
+            for rep in range(repetitions):
+                positions = staircase_layout(tag_count, spacing_m, spacing_m)
+                experiment = standard_experiment(
+                    positions, seed=100 * window + rep, tag_moving=tag_moving
+                )
+                config = STPPConfig(window_size=window, detection_method="segmented_dtw")
+                evaluation, _ = run_stpp(experiment, config)
+                evaluations.append(evaluation)
+            results[case][window] = mean_accuracy(evaluations)["combined"]
+    return results
+
+
+def _spacing_sweep(
+    spacings_m: tuple[float, ...],
+    repetitions: int,
+    tag_moving: bool,
+    tag_count: int = 8,
+) -> dict[float, dict[str, float]]:
+    results: dict[float, dict[str, float]] = {}
+    for spacing in spacings_m:
+        evaluations = []
+        for rep in range(repetitions):
+            positions = staircase_layout(tag_count, spacing, spacing)
+            experiment = standard_experiment(
+                positions, seed=int(spacing * 1000) * 10 + rep, tag_moving=tag_moving
+            )
+            evaluation, _ = run_stpp(experiment)
+            evaluations.append(evaluation)
+        results[spacing] = mean_accuracy(evaluations)
+    return results
+
+
+def fig13_spacing_tag_moving(
+    spacings_m: tuple[float, ...] = (0.02, 0.04, 0.06, 0.08, 0.10),
+    repetitions: int = 3,
+) -> dict[float, dict[str, float]]:
+    """Figure 13: tag-to-tag distance vs accuracy, tag-moving (conveyor) case."""
+    return _spacing_sweep(spacings_m, repetitions, tag_moving=True)
+
+
+def fig14_spacing_antenna_moving(
+    spacings_m: tuple[float, ...] = (0.02, 0.04, 0.06, 0.08, 0.10),
+    repetitions: int = 3,
+) -> dict[float, dict[str, float]]:
+    """Figure 14: tag-to-tag distance vs accuracy, antenna-moving case."""
+    return _spacing_sweep(spacings_m, repetitions, tag_moving=False)
+
+
+def table1_population(
+    populations: tuple[int, ...] = (5, 10, 15, 20, 25, 30),
+    repetitions: int = 2,
+) -> dict[str, dict[int, dict[str, float]]]:
+    """Table 1: tag population within the reading zone vs ordering accuracy."""
+    results: dict[str, dict[int, dict[str, float]]] = {
+        "tag_moving": {},
+        "antenna_moving": {},
+    }
+    for case, tag_moving in (("tag_moving", True), ("antenna_moving", False)):
+        for population in populations:
+            evaluations = []
+            for rep in range(repetitions):
+                rng = np.random.default_rng(1000 + population * 10 + rep)
+                positions = random_spacing_row(
+                    population, 0.02, 0.10, rng=rng, y_jitter_m=0.05
+                )
+                experiment = standard_experiment(
+                    positions, seed=population * 100 + rep, tag_moving=tag_moving
+                )
+                evaluation, _ = run_stpp(experiment)
+                evaluations.append(evaluation)
+            results[case][population] = mean_accuracy(evaluations)
+    return results
+
+
+# --------------------------------------------------------------------------
+# Section 4 macro-benchmarks: scheme comparison
+# --------------------------------------------------------------------------
+
+
+def _schemes_for(experiment: SweepExperiment) -> list:
+    """Instantiate the five schemes for one experiment's deployment."""
+    xs = [experiment.true_x[tid] for tid in experiment.target_ids]
+    ys = [experiment.true_y[tid] for tid in experiment.target_ids]
+    margin = 0.3
+    backpos = BackPosScheme(
+        antenna_position_at=experiment.scene.scenario.antenna_position,
+        region_min=Point3D(min(xs) - margin, min(ys) - margin, 0.0),
+        region_max=Point3D(max(xs) + margin, max(ys) + margin, 0.0),
+    )
+    landmarc = LandmarcScheme(reference_positions=experiment.reference_positions)
+    return [GRssiScheme(), OTrackScheme(), landmarc, backpos, STPPScheme()]
+
+
+def fig17_scheme_comparison(
+    repetitions: int = 1,
+    layout_spacing_m: float = 0.04,
+    tag_count: int = 10,
+) -> dict[str, dict[str, float]]:
+    """Figure 17: ordering accuracy of the five schemes over the five layouts.
+
+    The paper places adjacent tags 1–10 cm apart across the five layout
+    settings of Figure 16; ``layout_spacing_m`` controls the adjacent-tag
+    distance of the approximated layouts.
+    """
+    per_scheme: dict[str, list] = {}
+    layouts = paper_test_cases(spacing_m=layout_spacing_m)
+    for rep in range(repetitions):
+        for layout_index, positions in enumerate(layouts.values()):
+            if len(positions) > tag_count:
+                positions = positions[:tag_count]
+            xs = [p.x for p in positions]
+            ys = [p.y for p in positions]
+            reference_grid = reference_tag_grid(
+                max(xs) - min(xs) + 0.2, max(ys) - min(ys) + 0.2, spacing_m=0.15,
+                origin=Point3D(min(xs) - 0.1, min(ys) - 0.1, 0.0),
+            )
+            experiment = standard_experiment(
+                positions,
+                seed=500 + 17 * rep + layout_index,
+                reference_grid=reference_grid,
+            )
+            for scheme in _schemes_for(experiment):
+                run = experiment.run_scheme(scheme)
+                per_scheme.setdefault(scheme.name, []).append(run.evaluation)
+    return {
+        name: mean_accuracy(evaluations) for name, evaluations in per_scheme.items()
+    }
+
+
+def fig18_spacing_boxplot(
+    spacings_m: tuple[float, ...] = (0.10, 0.25, 0.50),
+    repetitions: int = 2,
+    tag_count: int = 10,
+) -> dict[str, list[float]]:
+    """Figure 18: per-scheme accuracy distribution as spacing shrinks (20→10 tags scaled)."""
+    samples: dict[str, list[float]] = {}
+    for spacing in spacings_m:
+        for rep in range(repetitions):
+            positions = staircase_layout(tag_count, spacing, min(spacing, 0.10))
+            xs = [p.x for p in positions]
+            ys = [p.y for p in positions]
+            # Keep the Landmarc reference deployment sparse (a handful of
+            # anchors), otherwise the reference tags dominate the reading
+            # zone and starve every scheme of reads on the target tags.
+            span_x = max(xs) - min(xs) + 0.2
+            span_y = max(ys) - min(ys) + 0.2
+            reference_grid = reference_tag_grid(
+                span_x, span_y, spacing_m=max(0.25, span_x / 4.0),
+                origin=Point3D(min(xs) - 0.1, min(ys) - 0.1, 0.0),
+            )
+            experiment = standard_experiment(
+                positions,
+                seed=int(spacing * 100) * 10 + rep,
+                reference_grid=reference_grid,
+            )
+            for scheme in _schemes_for(experiment):
+                run = experiment.run_scheme(scheme)
+                samples.setdefault(scheme.name, []).append(run.evaluation.combined)
+    return samples
+
+
+def fig19_population_boxplot(
+    populations: tuple[int, ...] = (5, 10, 20, 30),
+    repetitions: int = 2,
+    spacing_m: float = 0.10,
+) -> dict[str, list[float]]:
+    """Figure 19: STPP vs OTrack accuracy distribution as population grows."""
+    samples: dict[str, list[float]] = {"STPP": [], "OTrack": []}
+    for population in populations:
+        for rep in range(repetitions):
+            positions = staircase_layout(population, spacing_m, spacing_m)
+            experiment = standard_experiment(
+                positions, seed=population * 13 + rep, tag_moving=True
+            )
+            for scheme in (STPPScheme(), OTrackScheme()):
+                run = experiment.run_scheme(scheme)
+                samples[scheme.name].append(run.evaluation.accuracy_x)
+    return samples
+
+
+# --------------------------------------------------------------------------
+# Section 5 case studies
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class LibraryLayoutResult:
+    """Data behind Figure 21: detected book layout with wrongly ordered books."""
+
+    accuracy: float
+    wrong_books: list[str]
+    wrong_book_thicknesses_m: list[float]
+    median_thickness_m: float
+    per_level_accuracy: dict[int, float]
+
+
+def fig21_library_layout(
+    seed: int = 11, books_per_level: int = 15, levels: int = 3
+) -> LibraryLayoutResult:
+    """Figure 21: one full shelf sweep; errors concentrate on thin books."""
+    shelf = generate_bookshelf(levels=levels, books_per_level=books_per_level, seed=seed)
+    tags = shelf.to_tags(seed=seed)
+    scene = standard_antenna_moving_scene(tags, seed=seed)
+    sweep = collect_sweep(scene)
+    localizer = STPPLocalizer(STPPConfig())
+    result = localizer.localize(sweep.profiles, expected_tag_ids=tags.ids())
+
+    label_by_id = {tag.tag_id: tag.label for tag in tags}
+    x_by_id = {tag.tag_id: tag.position.x for tag in tags}
+    level_by_label = {book.call_number: book.level for book in shelf.books}
+    thickness_by_label = {book.call_number: book.thickness_m for book in shelf.books}
+
+    wrong: list[str] = []
+    per_level_accuracy: dict[int, float] = {}
+    for level in shelf.levels:
+        level_ids = [tid for tid in tags.ids() if level_by_label[label_by_id[tid]] == level]
+        truth = {tid: x_by_id[tid] for tid in level_ids}
+        detected = [tid for tid in result.x_ordering.ordered_ids if tid in truth]
+        accuracy = ordering_accuracy(truth, detected)
+        per_level_accuracy[level] = accuracy
+        true_rank = {tid: rank for rank, tid in enumerate(sorted(truth, key=truth.get))}
+        for rank, tid in enumerate(detected):
+            if true_rank[tid] != rank:
+                wrong.append(label_by_id[tid])
+
+    # The deployment's relative-localization accuracy is the per-level ordering
+    # accuracy (books are only ever reshelved within their level).
+    overall = float(np.mean(list(per_level_accuracy.values())))
+    return LibraryLayoutResult(
+        accuracy=overall,
+        wrong_books=wrong,
+        wrong_book_thicknesses_m=[thickness_by_label[b] for b in wrong],
+        median_thickness_m=float(np.median([b.thickness_m for b in shelf.books])),
+        per_level_accuracy=per_level_accuracy,
+    )
+
+
+def case_library_headline(
+    sweeps: int = 5, books_per_level: int = 15, levels: int = 3
+) -> float:
+    """§5.1 headline: mean per-level ordering accuracy over repeated sweeps."""
+    accuracies = []
+    for sweep_index in range(sweeps):
+        layout = fig21_library_layout(
+            seed=20 + sweep_index, books_per_level=books_per_level, levels=levels
+        )
+        accuracies.append(layout.accuracy)
+    return float(np.mean(accuracies))
+
+
+def table2_misplaced_books(
+    counts: tuple[int, ...] = (1, 2, 3),
+    repetitions: int = 5,
+    books_per_level: int = 15,
+    levels: int = 1,
+) -> dict[int, float]:
+    """Table 2: success rate of detecting 1/2/3 misplaced books."""
+    results: dict[int, float] = {}
+    for count in counts:
+        successes: list[bool] = []
+        for rep in range(repetitions):
+            seed = 300 + count * 50 + rep
+            rng = np.random.default_rng(seed)
+            shelf = generate_bookshelf(
+                levels=levels, books_per_level=books_per_level, seed=seed
+            )
+            shuffled, misplaced = misplace_books(shelf, count, rng=rng)
+            tags = shuffled.to_tags(seed=seed)
+            scene = standard_antenna_moving_scene(tags, seed=seed)
+            sweep = collect_sweep(scene)
+            localizer = STPPLocalizer(STPPConfig())
+            result = localizer.localize(sweep.profiles, expected_tag_ids=tags.ids())
+            label_by_id = {tag.tag_id: tag.label for tag in tags}
+            detected_physical = [
+                label_by_id[tid] for tid in result.x_ordering.ordered_ids
+            ]
+            flagged = detect_misplaced_books(
+                shuffled.catalogue_order(), detected_physical
+            )
+            successes.append(all(book in flagged for book in misplaced))
+        results[count] = detection_success_rate(successes)
+    return results
+
+
+def table3_baggage(
+    periods: tuple[TrafficPeriod, ...] = PAPER_PERIODS,
+    bags_per_batch: int = 15,
+    batches_per_period: int = 2,
+) -> dict[str, dict[str, float]]:
+    """Table 3: baggage ordering accuracy per scheme and traffic period."""
+    results: dict[str, dict[str, float]] = {}
+    for period in periods:
+        batches = period_batches(
+            period,
+            bags_per_batch=bags_per_batch,
+            total_bags=bags_per_batch * batches_per_period,
+            seed=period.start_hour,
+        )
+        per_scheme_correct: dict[str, list[float]] = {}
+        for batch in batches:
+            scene = standard_tag_moving_scene(
+                batch.tags,
+                seed=batch.batch_index + period.start_hour,
+            )
+            sweep = collect_sweep(scene)
+            truth = {tag.tag_id: tag.position.x for tag in batch.tags}
+            for scheme in (STPPScheme(), OTrackScheme(), GRssiScheme()):
+                scheme_result = scheme.order(sweep.read_log, batch.tags.ids())
+                accuracy = ordering_accuracy(truth, scheme_result.x_ordering.ordered_ids)
+                per_scheme_correct.setdefault(scheme.name, []).append(accuracy)
+        for name, values in per_scheme_correct.items():
+            results.setdefault(name, {})[period.name] = float(np.mean(values))
+    return results
+
+
+def fig23_latency_cdf(
+    bag_count: int = 30, seed: int = 7
+) -> dict[str, list[LatencySample]]:
+    """Figure 23: ordering-latency distribution of STPP vs OTrack."""
+    positions = random_spacing_row(bag_count, 0.05, 0.20, rng=np.random.default_rng(seed))
+    experiment = standard_experiment(positions, seed=seed, tag_moving=True)
+    samples: dict[str, list[LatencySample]] = {}
+    # STPP must wait for the trailing half of each V-zone before the order is
+    # final; OTrack only waits for its active window to close, so its
+    # collection tail is shorter.  Both add their own computation time.
+    tails = {"STPP": 1.3, "OTrack": 1.2}
+    for scheme in (STPPScheme(), OTrackScheme()):
+        samples[scheme.name] = measure_scheme_latency(
+            scheme,
+            experiment.read_log,
+            experiment.target_ids,
+            collection_tail_s=tails[scheme.name],
+        )
+    return samples
+
+
+# --------------------------------------------------------------------------
+# Ablations (design choices called out in the paper)
+# --------------------------------------------------------------------------
+
+
+def ablation_segmented_vs_full_dtw(
+    repetitions: int = 2, tag_count: int = 6, spacing_m: float = 0.08
+) -> dict[str, dict[str, float]]:
+    """Segmented DTW (w=5) vs full-sample DTW: accuracy and detection runtime."""
+    import time as _time
+
+    results: dict[str, dict[str, float]] = {}
+    for method in ("segmented_dtw", "full_dtw", "longest_run"):
+        accuracies = []
+        runtimes = []
+        for rep in range(repetitions):
+            positions = staircase_layout(tag_count, spacing_m, spacing_m)
+            experiment = standard_experiment(positions, seed=700 + rep)
+            config = STPPConfig(detection_method=method)
+            started = _time.perf_counter()
+            evaluation, _ = run_stpp(experiment, config)
+            runtimes.append(_time.perf_counter() - started)
+            accuracies.append(evaluation.combined)
+        results[method] = {
+            "accuracy": float(np.mean(accuracies)),
+            "runtime_s": float(np.mean(runtimes)),
+        }
+    return results
+
+
+def ablation_pivot_vs_all_pairs(
+    repetitions: int = 3, tag_count: int = 8, spacing_m: float = 0.08
+) -> dict[str, dict[str, float]]:
+    """Pivot-based Y ordering (M−1 comparisons) vs all-pairs comparison."""
+    results: dict[str, dict[str, float]] = {}
+    for comparison in ("pivot", "all_pairs"):
+        accuracies = []
+        for rep in range(repetitions):
+            positions = staircase_layout(tag_count, spacing_m, spacing_m)
+            experiment = standard_experiment(positions, seed=800 + rep, tag_moving=True)
+            config = STPPConfig(y_comparison=comparison)
+            evaluation, _ = run_stpp(experiment, config)
+            accuracies.append(evaluation.accuracy_y)
+        results[comparison] = {"accuracy_y": float(np.mean(accuracies))}
+    return results
+
+
+def ablation_y_value_mode(
+    repetitions: int = 3, tag_count: int = 8, spacing_m: float = 0.08
+) -> dict[str, dict[str, float]]:
+    """Depth-based (default) vs paper-literal raw vs curvature Y comparison."""
+    results: dict[str, dict[str, float]] = {}
+    for mode in ("depth", "raw", "curvature"):
+        accuracies = []
+        for rep in range(repetitions):
+            positions = staircase_layout(tag_count, spacing_m, spacing_m)
+            experiment = standard_experiment(positions, seed=900 + rep, tag_moving=True)
+            config = STPPConfig(y_value_mode=mode)
+            evaluation, _ = run_stpp(experiment, config)
+            accuracies.append(evaluation.accuracy_y)
+        results[mode] = {"accuracy_y": float(np.mean(accuracies))}
+    return results
+
+
+def ablation_quadratic_fitting(
+    repetitions: int = 3, tag_count: int = 8, spacing_m: float = 0.05
+) -> dict[str, float]:
+    """Quadratic fitting vs raw-minimum bottom picking under dropouts."""
+    with_fit: list[float] = []
+    without_fit: list[float] = []
+    for rep in range(repetitions):
+        positions = staircase_layout(tag_count, spacing_m, spacing_m)
+        experiment = standard_experiment(positions, seed=950 + rep)
+        profiles = profiles_from_read_log(experiment.read_log)
+        localizer = STPPLocalizer(STPPConfig())
+        result = localizer.localize(profiles, expected_tag_ids=experiment.target_ids)
+        with_fit.append(
+            ordering_accuracy(experiment.true_x, result.x_ordering.ordered_ids)
+        )
+        # Raw-minimum variant: order by the time of the smallest phase sample
+        # inside each detected V-zone window, no fitting.
+        raw_bottoms = {}
+        for tag_id, vzone in result.vzones.items():
+            window = profiles[tag_id].slice_index(vzone.start_index, vzone.end_index)
+            unwrapped = np.unwrap(window.phases_rad)
+            raw_bottoms[tag_id] = float(
+                window.timestamps_s[int(np.argmin(unwrapped))]
+            )
+        raw_order = sorted(raw_bottoms, key=lambda tid: raw_bottoms[tid])
+        without_fit.append(ordering_accuracy(experiment.true_x, raw_order))
+    return {
+        "with_quadratic_fit": float(np.mean(with_fit)),
+        "raw_minimum": float(np.mean(without_fit)),
+    }
+
+
+def dtw_speedup_measurement(window_size: int = 5, seed: int = 4) -> dict[str, float]:
+    """Measured speed-up of segmented DTW over raw-sample DTW (paper §3.1.2)."""
+    import time as _time
+
+    experiment = standard_experiment(row_layout(1, 0.1), seed=seed, speed_mps=0.1)
+    profiles = profiles_from_read_log(experiment.read_log)
+    profile = profiles[experiment.target_ids[0]]
+    reference = canonical_reference(speed_mps=0.1)
+
+    started = _time.perf_counter()
+    subsequence_dtw(reference.profile.phases_rad, profile.phases_rad)
+    full_runtime = _time.perf_counter() - started
+
+    ref_segments = segment_profile(reference.profile, window_size)
+    measured_segments = segment_profile(profile, window_size)
+    started = _time.perf_counter()
+    segmented_dtw_align(ref_segments, measured_segments)
+    segmented_runtime = _time.perf_counter() - started
+    return {
+        "full_dtw_s": full_runtime,
+        "segmented_dtw_s": segmented_runtime,
+        "speedup": full_runtime / max(segmented_runtime, 1e-9),
+        "theoretical_speedup": float(window_size**2),
+    }
+
+
+def summarise_boxplot(samples: dict[str, list[float]]) -> dict[str, dict[str, float]]:
+    """Convenience wrapper: five-number summaries per scheme for box plots."""
+    return {name: summarise(values) for name, values in samples.items()}

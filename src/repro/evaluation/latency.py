@@ -1,0 +1,73 @@
+"""Ordering latency measurement (paper Figure 23).
+
+The paper measures, for each baggage item, how long the scheme takes to emit
+its order once its reads are available.  We reproduce the distribution by
+timing each scheme on per-batch read logs and attributing the batch's
+processing time plus the residual tail of the data-collection window to each
+bag, which is what dominates the paper's ~1.5 s average for STPP.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.base import OrderingScheme
+from ..rfid.reading import ReadLog
+
+
+@dataclass(frozen=True, slots=True)
+class LatencySample:
+    """Latency attributed to ordering one tag."""
+
+    tag_id: str
+    latency_s: float
+    scheme: str
+
+
+def measure_scheme_latency(
+    scheme: OrderingScheme,
+    read_log: ReadLog,
+    expected_tag_ids: list[str],
+    collection_tail_s: float = 1.0,
+    repeats: int = 3,
+) -> list[LatencySample]:
+    """Per-tag ordering latency of ``scheme`` on one batch.
+
+    ``collection_tail_s`` models the data the scheme still needs to wait for
+    after a tag has passed the antenna before its order can be fixed (for
+    STPP: the back half of the V-zone; for OTrack: the end of the active
+    window).  The computation time is measured by running the scheme
+    ``repeats`` times and taking the median.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    durations = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        scheme.order(read_log, expected_tag_ids)
+        durations.append(time.perf_counter() - started)
+    compute_s = float(np.median(durations))
+    per_tag_compute = compute_s / max(len(expected_tag_ids), 1)
+    # A tag's order is finalised once the collection tail has elapsed and the
+    # pipeline has worked through the tags ahead of it, so later tags in the
+    # batch see slightly larger latencies — this is what spreads the CDF.
+    return [
+        LatencySample(
+            tag_id=tag_id,
+            latency_s=collection_tail_s + per_tag_compute * (rank + 1),
+            scheme=scheme.name,
+        )
+        for rank, tag_id in enumerate(expected_tag_ids)
+    ]
+
+
+def latency_cdf(samples: list[LatencySample]) -> tuple[np.ndarray, np.ndarray]:
+    """Empirical CDF (x values, cumulative probabilities) of latency samples."""
+    if not samples:
+        raise ValueError("need at least one latency sample")
+    values = np.sort(np.array([s.latency_s for s in samples], dtype=float))
+    probabilities = np.arange(1, values.size + 1) / values.size
+    return values, probabilities

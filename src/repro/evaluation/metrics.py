@@ -1,0 +1,187 @@
+"""Evaluation metrics, foremost the paper's ordering accuracy (Equation 2).
+
+    Ordering Accuracy = (# of tags ordered correctly) / (# of tags in total)
+
+A tag is ordered correctly when its detected rank equals its actual rank.
+Two practical refinements are needed to apply the metric to arbitrary layouts:
+
+* **ties** — tags that share the same true coordinate along an axis (e.g. the
+  books of one shelf level all share a Y coordinate) are interchangeable:
+  any of the ranks occupied by the tie group counts as correct;
+* **missing tags** — tags the scheme failed to order at all count as ordered
+  incorrectly (they certainly are not at their correct rank).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+DEFAULT_COORDINATE_TOLERANCE_M = 1e-6
+"""Coordinates closer than this are treated as tied."""
+
+
+def _tie_groups(
+    true_coordinates: Mapping[str, float],
+    tolerance: float,
+) -> dict[str, tuple[int, int]]:
+    """Map each tag to the inclusive rank range its tie group occupies."""
+    ordered = sorted(true_coordinates, key=lambda tag_id: true_coordinates[tag_id])
+    ranges: dict[str, tuple[int, int]] = {}
+    index = 0
+    while index < len(ordered):
+        group = [ordered[index]]
+        while (
+            index + len(group) < len(ordered)
+            and abs(
+                true_coordinates[ordered[index + len(group)]]
+                - true_coordinates[group[0]]
+            )
+            <= tolerance
+        ):
+            group.append(ordered[index + len(group)])
+        low, high = index, index + len(group) - 1
+        for tag_id in group:
+            ranges[tag_id] = (low, high)
+        index += len(group)
+    return ranges
+
+
+def ordering_accuracy(
+    true_coordinates: Mapping[str, float],
+    predicted_order: Sequence[str],
+    tolerance: float = DEFAULT_COORDINATE_TOLERANCE_M,
+) -> float:
+    """The paper's ordering accuracy (Eq. 2), tie-aware.
+
+    Parameters
+    ----------
+    true_coordinates:
+        Ground-truth coordinate of every tag along the evaluated axis.
+    predicted_order:
+        Tag ids in the order the scheme reported (smallest coordinate first).
+        Tags missing from this sequence are counted as incorrect.
+    tolerance:
+        Coordinates closer than this are considered tied.
+    """
+    if not true_coordinates:
+        raise ValueError("true_coordinates must not be empty")
+    ranges = _tie_groups(true_coordinates, tolerance)
+    predicted_rank = {tag_id: rank for rank, tag_id in enumerate(predicted_order)}
+    correct = 0
+    for tag_id, (low, high) in ranges.items():
+        rank = predicted_rank.get(tag_id)
+        if rank is not None and low <= rank <= high:
+            correct += 1
+    return correct / len(true_coordinates)
+
+
+def strict_ordering_accuracy(
+    true_order: Sequence[str], predicted_order: Sequence[str]
+) -> float:
+    """Eq. 2 against an explicit ground-truth order (no ties)."""
+    if not true_order:
+        raise ValueError("true_order must not be empty")
+    predicted_rank = {tag_id: rank for rank, tag_id in enumerate(predicted_order)}
+    correct = sum(
+        1
+        for rank, tag_id in enumerate(true_order)
+        if predicted_rank.get(tag_id) == rank
+    )
+    return correct / len(true_order)
+
+
+def pairwise_order_accuracy(
+    true_coordinates: Mapping[str, float],
+    predicted_order: Sequence[str],
+    tolerance: float = DEFAULT_COORDINATE_TOLERANCE_M,
+) -> float:
+    """Fraction of tag pairs whose relative order is reported correctly.
+
+    A Kendall-tau-style metric: less punishing than Eq. 2 for a single
+    misplaced tag, used in tests as a secondary check.
+    Tied pairs are excluded from the count; pairs involving a missing tag
+    count as incorrect.
+    """
+    tags = list(true_coordinates)
+    if len(tags) < 2:
+        raise ValueError("need at least two tags for a pairwise metric")
+    predicted_rank = {tag_id: rank for rank, tag_id in enumerate(predicted_order)}
+    correct = 0
+    total = 0
+    for i, tag_a in enumerate(tags):
+        for tag_b in tags[i + 1 :]:
+            delta = true_coordinates[tag_a] - true_coordinates[tag_b]
+            if abs(delta) <= tolerance:
+                continue
+            total += 1
+            rank_a = predicted_rank.get(tag_a)
+            rank_b = predicted_rank.get(tag_b)
+            if rank_a is None or rank_b is None:
+                continue
+            if (delta < 0) == (rank_a < rank_b):
+                correct += 1
+    if total == 0:
+        return 1.0
+    return correct / total
+
+
+@dataclass(frozen=True, slots=True)
+class OrderingEvaluation:
+    """Accuracy of one localization run along both axes."""
+
+    accuracy_x: float
+    accuracy_y: float
+    pairwise_x: float
+    pairwise_y: float
+    ordered_tags: int
+    total_tags: int
+
+    @property
+    def combined(self) -> float:
+        """Mean of the two axis accuracies (the 'combined' bar of Figure 17)."""
+        return (self.accuracy_x + self.accuracy_y) / 2.0
+
+
+def evaluate_ordering(
+    true_x: Mapping[str, float],
+    true_y: Mapping[str, float],
+    predicted_x: Sequence[str],
+    predicted_y: Sequence[str],
+) -> OrderingEvaluation:
+    """Evaluate a run's X and Y orderings against ground-truth coordinates."""
+    return OrderingEvaluation(
+        accuracy_x=ordering_accuracy(true_x, predicted_x),
+        accuracy_y=ordering_accuracy(true_y, predicted_y),
+        pairwise_x=pairwise_order_accuracy(true_x, predicted_x),
+        pairwise_y=pairwise_order_accuracy(true_y, predicted_y),
+        ordered_tags=len(predicted_x),
+        total_tags=len(true_x),
+    )
+
+
+def detection_success_rate(successes: Sequence[bool]) -> float:
+    """Fraction of trials flagged as successful (Table 2)."""
+    if not successes:
+        raise ValueError("need at least one trial")
+    return float(np.mean([1.0 if s else 0.0 for s in successes]))
+
+
+def summarise(values: Sequence[float]) -> dict[str, float]:
+    """Mean / median / quartiles / IQR of a sequence (for the box-plot figures)."""
+    if not values:
+        raise ValueError("need at least one value")
+    arr = np.asarray(values, dtype=float)
+    q1 = float(np.percentile(arr, 25))
+    q3 = float(np.percentile(arr, 75))
+    return {
+        "mean": float(np.mean(arr)),
+        "median": float(np.median(arr)),
+        "q1": q1,
+        "q3": q3,
+        "iqr": q3 - q1,
+        "min": float(np.min(arr)),
+        "max": float(np.max(arr)),
+    }

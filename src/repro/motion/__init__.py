@@ -1,0 +1,28 @@
+"""Mobility substrate: speed profiles, trajectories, and sweep scenarios."""
+
+from .scenarios import (
+    SweepScenario,
+    antenna_moving_scenario,
+    equivalent_antenna_motion,
+    tag_moving_scenario,
+)
+from .speed_profiles import (
+    ConstantSpeedProfile,
+    PiecewiseSpeedProfile,
+    SpeedProfile,
+    jittered_speed_profile,
+)
+from .trajectory import LinearTrajectory, WaypointTrajectory
+
+__all__ = [
+    "ConstantSpeedProfile",
+    "LinearTrajectory",
+    "PiecewiseSpeedProfile",
+    "SpeedProfile",
+    "SweepScenario",
+    "WaypointTrajectory",
+    "antenna_moving_scenario",
+    "equivalent_antenna_motion",
+    "jittered_speed_profile",
+    "tag_moving_scenario",
+]

@@ -1,0 +1,130 @@
+"""Antenna-moving vs tag-moving sweep scenarios.
+
+The paper observes (Section 1.3) that moving the reader over stationary tags
+is equivalent to keeping the reader stationary while the tags move together —
+the airport conveyor-belt case.  This module expresses both cases through the
+same pair of callables the reader simulator consumes:
+
+* ``antenna_position(t) -> Point3D``
+* ``tag_position(tag_id, t) -> Point3D``
+
+so all downstream code (reader, STPP, baselines) is agnostic to which side
+actually moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping
+
+from ..rf.geometry import Point3D
+from .trajectory import LinearTrajectory
+
+AntennaPositionFn = Callable[[float], Point3D]
+TagPositionFn = Callable[[str, float], Point3D]
+
+
+@dataclass(frozen=True, slots=True)
+class SweepScenario:
+    """A fully specified sweep: who moves, where, for how long."""
+
+    antenna_position: AntennaPositionFn
+    tag_position: TagPositionFn
+    duration_s: float
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {self.duration_s}")
+
+
+def antenna_moving_scenario(
+    trajectory: LinearTrajectory,
+    tag_positions: Mapping[str, Point3D],
+    extra_dwell_s: float = 0.0,
+) -> SweepScenario:
+    """The librarian case: the antenna traverses ``trajectory``, tags are static.
+
+    ``extra_dwell_s`` keeps the reader interrogating after the antenna reaches
+    the end of the path, which pads the tail of the phase profiles.
+    """
+    if extra_dwell_s < 0:
+        raise ValueError(f"extra dwell must be non-negative, got {extra_dwell_s}")
+    positions = dict(tag_positions)
+
+    def tag_position(tag_id: str, _time_s: float) -> Point3D:
+        return positions[tag_id]
+
+    return SweepScenario(
+        antenna_position=trajectory.position,
+        tag_position=tag_position,
+        duration_s=trajectory.duration_s + extra_dwell_s,
+        description="antenna moving",
+    )
+
+
+def tag_moving_scenario(
+    antenna_position: Point3D,
+    initial_tag_positions: Mapping[str, Point3D],
+    belt_direction: tuple[float, float, float],
+    belt_speed_mps: float,
+    duration_s: float,
+) -> SweepScenario:
+    """The conveyor-belt case: the antenna is static, tags translate together.
+
+    All tags share the same velocity vector (``belt_direction`` normalised,
+    scaled by ``belt_speed_mps``) so their relative geometry is preserved —
+    the precondition for the equivalence with the antenna-moving case.
+    """
+    if belt_speed_mps <= 0:
+        raise ValueError(f"belt speed must be positive, got {belt_speed_mps}")
+    if duration_s <= 0:
+        raise ValueError(f"duration must be positive, got {duration_s}")
+    norm = sum(c * c for c in belt_direction) ** 0.5
+    if norm == 0:
+        raise ValueError("belt direction must be non-zero")
+    velocity = tuple(c / norm * belt_speed_mps for c in belt_direction)
+    positions = dict(initial_tag_positions)
+
+    def tag_position(tag_id: str, time_s: float) -> Point3D:
+        start = positions[tag_id]
+        return Point3D(
+            start.x + velocity[0] * time_s,
+            start.y + velocity[1] * time_s,
+            start.z + velocity[2] * time_s,
+        )
+
+    def static_antenna(_time_s: float) -> Point3D:
+        return antenna_position
+
+    return SweepScenario(
+        antenna_position=static_antenna,
+        tag_position=tag_position,
+        duration_s=duration_s,
+        description="tag moving",
+    )
+
+
+def equivalent_antenna_motion(
+    scenario: SweepScenario, reference_tag_id: str
+) -> Callable[[float], Point3D]:
+    """Express a tag-moving scenario as relative antenna motion.
+
+    Returns a callable giving the antenna position *in the moving frame of the
+    tags* (anchored at ``reference_tag_id``'s initial position).  Used by
+    tests to verify the antenna-moving / tag-moving equivalence the paper
+    asserts: the relative geometry — and therefore the phase profile — is the
+    same in both descriptions.
+    """
+    initial_tag = scenario.tag_position(reference_tag_id, 0.0)
+
+    def relative_antenna(time_s: float) -> Point3D:
+        tag_now = scenario.tag_position(reference_tag_id, time_s)
+        antenna_now = scenario.antenna_position(time_s)
+        return Point3D(
+            antenna_now.x - (tag_now.x - initial_tag.x),
+            antenna_now.y - (tag_now.y - initial_tag.y),
+            antenna_now.z - (tag_now.z - initial_tag.z),
+        )
+
+    return relative_antenna

@@ -1,0 +1,5 @@
+"""Plain-text reporting helpers used by the benchmark harness."""
+
+from .tables import format_accuracy_map, format_series, format_table
+
+__all__ = ["format_accuracy_map", "format_series", "format_table"]

@@ -1,0 +1,72 @@
+"""RF physics substrate: phase model, link budget, multipath, noise, antenna.
+
+This subpackage replaces the physical ImpinJ reader/antenna/tag hardware used
+in the paper with a simulated backscatter channel that exposes the same
+observables a COTS reader exposes: per-read phase (Eq. 1), RSSI, and read
+success/failure.
+"""
+
+from .antenna import DirectionalAntenna, ReadingZone
+from .channel import BackscatterChannel, ChannelObservation
+from .constants import (
+    DEFAULT_CHANNEL_INDEX,
+    SPEED_OF_LIGHT,
+    TWO_PI,
+    channel_frequency_hz,
+    channel_wavelength_m,
+    wavelength_m,
+)
+from .geometry import (
+    Point3D,
+    distance_point_to_segment,
+    pairwise_distances,
+    perpendicular_foot_parameter,
+)
+from .multipath import MultipathChannel, Reflector, typical_indoor_reflectors
+from .noise import NOISELESS, NoiseModel
+from .phase_model import (
+    DeviceOffsets,
+    phase_distance,
+    quantise_phase,
+    round_trip_phase,
+    unwrap_phase_series,
+    wrap_phase,
+)
+from .propagation import (
+    LinkBudget,
+    dbm_to_milliwatts,
+    free_space_path_loss_db,
+    milliwatts_to_dbm,
+)
+
+__all__ = [
+    "BackscatterChannel",
+    "ChannelObservation",
+    "DEFAULT_CHANNEL_INDEX",
+    "DeviceOffsets",
+    "DirectionalAntenna",
+    "LinkBudget",
+    "MultipathChannel",
+    "NOISELESS",
+    "NoiseModel",
+    "Point3D",
+    "ReadingZone",
+    "Reflector",
+    "SPEED_OF_LIGHT",
+    "TWO_PI",
+    "channel_frequency_hz",
+    "channel_wavelength_m",
+    "dbm_to_milliwatts",
+    "distance_point_to_segment",
+    "free_space_path_loss_db",
+    "milliwatts_to_dbm",
+    "pairwise_distances",
+    "perpendicular_foot_parameter",
+    "phase_distance",
+    "quantise_phase",
+    "round_trip_phase",
+    "typical_indoor_reflectors",
+    "unwrap_phase_series",
+    "wavelength_m",
+    "wrap_phase",
+]

@@ -1,0 +1,130 @@
+"""Directional reader antenna model: gain pattern and reading zone.
+
+The paper uses directional panel antennas (ImpinJ Threshold IPJ-A0311, Alien
+ALR-8696-C).  Two properties of the antenna matter for STPP:
+
+* the **gain pattern** shapes the received power (RSSI) and, together with tag
+  sensitivity, bounds the *reading zone* — the region within which a passive
+  tag can be energised and decoded;
+* the **reading zone** bounds how many tags compete in each inventory round,
+  which drives the undersampling effect studied in Table 1 of the paper.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .geometry import Point3D
+
+
+@dataclass(frozen=True, slots=True)
+class DirectionalAntenna:
+    """A panel antenna with a cosine-power gain pattern.
+
+    The gain model is ``G(theta) = gain_dbi + 10*log10(max(cos(theta), eps)**n)``
+    where ``theta`` is the angle off boresight and ``n`` controls the beamwidth.
+    A cosine-power pattern is the standard first-order model for patch/panel
+    antennas and is sufficient to reproduce the reading-zone behaviour the
+    paper relies on.
+    """
+
+    gain_dbi: float = 6.0
+    """Boresight gain in dBi (typical for the antennas used in the paper)."""
+
+    beamwidth_deg: float = 70.0
+    """Half-power (−3 dB) beamwidth in degrees."""
+
+    boresight: tuple[float, float, float] = (0.0, 0.0, 1.0)
+    """Unit-ish vector giving the boresight direction in world coordinates."""
+
+    def __post_init__(self) -> None:
+        if self.beamwidth_deg <= 0 or self.beamwidth_deg >= 180:
+            raise ValueError(
+                f"beamwidth must be in (0, 180) degrees, got {self.beamwidth_deg}"
+            )
+        norm = math.sqrt(sum(c * c for c in self.boresight))
+        if norm == 0:
+            raise ValueError("boresight vector must be non-zero")
+
+    @property
+    def _cosine_exponent(self) -> float:
+        """Exponent ``n`` such that the pattern is −3 dB at half the beamwidth."""
+        half = math.radians(self.beamwidth_deg / 2.0)
+        cos_half = math.cos(half)
+        if cos_half <= 0.0:
+            return 1.0
+        # 10*log10(cos^n) = -3  =>  n = -3 / (10*log10(cos))
+        return -3.0 / (10.0 * math.log10(cos_half))
+
+    def _unit_boresight(self) -> np.ndarray:
+        v = np.asarray(self.boresight, dtype=float)
+        return v / np.linalg.norm(v)
+
+    def off_boresight_angle_rad(self, antenna_pos: Point3D, target: Point3D) -> float:
+        """Angle between the boresight and the direction to ``target``."""
+        direction = target.as_array() - antenna_pos.as_array()
+        norm = np.linalg.norm(direction)
+        if norm == 0:
+            return 0.0
+        cos_angle = float(np.dot(direction / norm, self._unit_boresight()))
+        cos_angle = min(1.0, max(-1.0, cos_angle))
+        return math.acos(cos_angle)
+
+    def gain_dbi_towards(self, antenna_pos: Point3D, target: Point3D) -> float:
+        """Antenna gain (dBi) in the direction of ``target``.
+
+        Directions behind the panel (more than 90° off boresight) get a flat
+        −20 dB front-to-back rejection relative to boresight.
+        """
+        angle = self.off_boresight_angle_rad(antenna_pos, target)
+        if angle >= math.pi / 2.0:
+            return self.gain_dbi - 20.0
+        pattern_db = 10.0 * self._cosine_exponent * math.log10(max(math.cos(angle), 1e-9))
+        return self.gain_dbi + max(pattern_db, -20.0)
+
+
+@dataclass(frozen=True, slots=True)
+class ReadingZone:
+    """The region within which tags can be inventoried.
+
+    The zone is modelled as the intersection of a maximum range (power-limited)
+    and the antenna's forward hemisphere, optionally narrowed to the antenna
+    beam.  ``contains`` is used by the reader simulator to decide which tags
+    participate in an inventory round at a given antenna position.
+    """
+
+    max_range_m: float = 3.0
+    """Maximum read range of the reader/tag pair, in metres."""
+
+    antenna: DirectionalAntenna = DirectionalAntenna()
+    """Antenna whose beam bounds the zone."""
+
+    beam_limited: bool = True
+    """If True, tags outside the half-power beam are considered unreadable."""
+
+    def __post_init__(self) -> None:
+        if self.max_range_m <= 0:
+            raise ValueError(f"max_range_m must be positive, got {self.max_range_m}")
+
+    def contains(self, antenna_pos: Point3D, tag_pos: Point3D) -> bool:
+        """Return True if a tag at ``tag_pos`` is readable from ``antenna_pos``."""
+        distance = antenna_pos.distance_to(tag_pos)
+        if distance > self.max_range_m:
+            return False
+        if not self.beam_limited:
+            return True
+        angle = self.antenna.off_boresight_angle_rad(antenna_pos, tag_pos)
+        return angle <= math.radians(self.antenna.beamwidth_deg)
+
+    def tags_in_zone(
+        self, antenna_pos: Point3D, tag_positions: dict[str, Point3D]
+    ) -> list[str]:
+        """Return the identifiers of all tags readable from ``antenna_pos``."""
+        return [
+            tag_id
+            for tag_id, pos in tag_positions.items()
+            if self.contains(antenna_pos, pos)
+        ]

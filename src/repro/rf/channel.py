@@ -1,0 +1,137 @@
+"""The composite RF channel: geometry in, (phase, RSSI, readable) out.
+
+:class:`BackscatterChannel` glues together the pieces of the RF substrate —
+carrier/wavelength (:mod:`repro.rf.constants`), the Eq. (1) phase model
+(:mod:`repro.rf.phase_model`), the link budget (:mod:`repro.rf.propagation`),
+multipath (:mod:`repro.rf.multipath`) and measurement noise
+(:mod:`repro.rf.noise`) — into the single interface the simulator uses: given
+an antenna position and a tag position, what does the reader observe?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .antenna import DirectionalAntenna
+from .constants import (
+    DEFAULT_CHANNEL_INDEX,
+    channel_frequency_hz,
+    channel_wavelength_m,
+)
+from .geometry import Point3D
+from .multipath import MultipathChannel
+from .noise import NoiseModel
+from .phase_model import DeviceOffsets, quantise_phase, round_trip_phase, wrap_phase
+from .propagation import LinkBudget
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelObservation:
+    """What the reader observes for a single tag reply attempt."""
+
+    phase_rad: float
+    """Reported phase in [0, 2*pi) — noisy, multipath-perturbed, quantised."""
+
+    rssi_dbm: float
+    """Reported RSSI in dBm — noisy and multipath-faded."""
+
+    true_distance_m: float
+    """Ground-truth one-way antenna-to-tag distance (for evaluation only)."""
+
+    readable: bool
+    """False when the link budget or a dropout prevents a successful read."""
+
+
+@dataclass(frozen=True, slots=True)
+class BackscatterChannel:
+    """A complete monostatic backscatter channel for one reader antenna."""
+
+    channel_index: int = DEFAULT_CHANNEL_INDEX
+    antenna: DirectionalAntenna = DirectionalAntenna()
+    link_budget: LinkBudget = field(default_factory=LinkBudget)
+    multipath: MultipathChannel = field(default_factory=MultipathChannel)
+    noise: NoiseModel = field(default_factory=NoiseModel)
+    device_offsets: DeviceOffsets = field(default_factory=DeviceOffsets)
+    quantise: bool = True
+    """Quantise phases to the 12-bit word COTS readers report."""
+
+    @property
+    def frequency_hz(self) -> float:
+        """Carrier frequency of the configured channel."""
+        return channel_frequency_hz(self.channel_index)
+
+    @property
+    def wavelength_m(self) -> float:
+        """Carrier wavelength of the configured channel."""
+        return channel_wavelength_m(self.channel_index)
+
+    def ideal_phase(self, antenna_pos: Point3D, tag_pos: Point3D) -> float:
+        """Noise-free, multipath-free Eq. (1) phase for this geometry."""
+        distance = antenna_pos.distance_to(tag_pos)
+        return float(
+            round_trip_phase(distance, self.wavelength_m, self.device_offsets)
+        )
+
+    def ideal_rssi(self, antenna_pos: Point3D, tag_pos: Point3D) -> float:
+        """Noise-free, multipath-free reverse-link power for this geometry."""
+        return self.link_budget.reverse_power_dbm(
+            antenna_pos, tag_pos, self.frequency_hz
+        )
+
+    def observe(
+        self,
+        antenna_pos: Point3D,
+        tag_pos: Point3D,
+        rng: np.random.Generator,
+        extra_reflectors: "tuple | None" = None,
+    ) -> ChannelObservation:
+        """Simulate one reply attempt of a tag at ``tag_pos``.
+
+        The observation includes multipath perturbation, measurement noise,
+        quantisation, and readability (link budget + dropouts).  Callers that
+        need deterministic behaviour should pass a seeded ``rng``.
+
+        ``extra_reflectors`` adds transient reflectors/scatterers that only
+        apply to this observation — the reader uses it to model coupling from
+        neighbouring tags, whose positions may change over the sweep.
+        """
+        distance = antenna_pos.distance_to(tag_pos)
+        decodable = self.link_budget.reply_decodable(
+            antenna_pos, tag_pos, self.frequency_hz
+        )
+
+        multipath = self.multipath
+        if extra_reflectors:
+            multipath = MultipathChannel(
+                reflectors=tuple(multipath.reflectors) + tuple(extra_reflectors)
+            )
+
+        fade_db = multipath.amplitude_gain_db(
+            antenna_pos, tag_pos, self.wavelength_m
+        )
+        phase_perturbation = multipath.phase_perturbation_rad(
+            antenna_pos, tag_pos, self.wavelength_m
+        )
+
+        dropped = self.noise.read_dropped(fade_db, rng)
+        readable = decodable and not dropped
+
+        phase = wrap_phase(
+            round_trip_phase(distance, self.wavelength_m, self.device_offsets)
+            + phase_perturbation
+        )
+        phase = self.noise.noisy_phase(float(phase), rng)
+        if self.quantise:
+            phase = float(quantise_phase(phase))
+
+        rssi = self.ideal_rssi(antenna_pos, tag_pos) + fade_db
+        rssi = self.noise.noisy_rssi(rssi, rng)
+
+        return ChannelObservation(
+            phase_rad=phase,
+            rssi_dbm=rssi,
+            true_distance_m=distance,
+            readable=readable,
+        )

@@ -1,0 +1,89 @@
+"""Physical constants and the UHF RFID band plan used throughout the library.
+
+The paper operates an ImpinJ R420 on "the 6th channel in the 920~926 MHz ISM
+band" (Section 4.1).  China's UHF RFID band plan (920.625--924.375 MHz) spaces
+channels 250 kHz apart; we reproduce that plan here so that a channel index can
+be converted to a carrier frequency and wavelength.
+"""
+
+from __future__ import annotations
+
+SPEED_OF_LIGHT = 299_792_458.0
+"""Speed of light in vacuum, in metres per second."""
+
+TWO_PI = 6.283185307179586
+"""2*pi, the period of a phase measurement."""
+
+ISM_BAND_LOW_HZ = 920.625e6
+"""Lowest carrier frequency of the China UHF RFID band plan, in Hz."""
+
+ISM_BAND_HIGH_HZ = 924.375e6
+"""Highest carrier frequency of the China UHF RFID band plan, in Hz."""
+
+ISM_CHANNEL_SPACING_HZ = 250e3
+"""Channel spacing of the China UHF RFID band plan, in Hz."""
+
+ISM_CHANNEL_COUNT = 16
+"""Number of channels in the band plan."""
+
+DEFAULT_CHANNEL_INDEX = 6
+"""The channel used in the paper's experiments (Section 4.1)."""
+
+PHASE_REPORT_BITS = 12
+"""Bit width of the phase word reported by COTS readers such as the R420.
+
+The ImpinJ R420 reports phase as a 12-bit integer covering [0, 2*pi); the
+simulator quantises phases accordingly so that downstream code sees exactly
+the resolution a real deployment would.
+"""
+
+DEFAULT_TX_POWER_DBM = 30.0
+"""Default reader transmit power (1 W ERP), typical for COTS UHF readers."""
+
+DEFAULT_TAG_BACKSCATTER_LOSS_DB = 6.0
+"""Typical modulation/backscatter loss of a passive tag, in dB."""
+
+DEFAULT_TAG_SENSITIVITY_DBM = -18.0
+"""Forward-link power below which a passive tag cannot energise and reply."""
+
+DEFAULT_READER_SENSITIVITY_DBM = -84.0
+"""Reverse-link power below which the reader cannot decode a tag reply."""
+
+
+def channel_frequency_hz(channel_index: int) -> float:
+    """Return the carrier frequency of ``channel_index`` in Hz.
+
+    Parameters
+    ----------
+    channel_index:
+        Zero-based channel index in ``[0, ISM_CHANNEL_COUNT)``.
+
+    Raises
+    ------
+    ValueError
+        If the index lies outside the band plan.
+    """
+    if not 0 <= channel_index < ISM_CHANNEL_COUNT:
+        raise ValueError(
+            f"channel index {channel_index} outside band plan "
+            f"[0, {ISM_CHANNEL_COUNT})"
+        )
+    return ISM_BAND_LOW_HZ + channel_index * ISM_CHANNEL_SPACING_HZ
+
+
+def wavelength_m(frequency_hz: float) -> float:
+    """Return the free-space wavelength in metres for ``frequency_hz``.
+
+    Raises
+    ------
+    ValueError
+        If the frequency is not strictly positive.
+    """
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    return SPEED_OF_LIGHT / frequency_hz
+
+
+def channel_wavelength_m(channel_index: int) -> float:
+    """Return the wavelength of ``channel_index`` in metres."""
+    return wavelength_m(channel_frequency_hz(channel_index))

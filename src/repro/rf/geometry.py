@@ -1,0 +1,105 @@
+"""Small 3-D geometry helpers shared by the RF and motion substrates.
+
+The library uses a right-handed coordinate frame:
+
+* **X** — the dimension along which the antenna (or the conveyor belt) moves.
+* **Y** — the second dimension of the tag plane (e.g. shelf height).
+* **Z** — the perpendicular offset between the tag plane and the antenna
+  trajectory (e.g. the 30 cm between a librarian's cart and the bookshelf).
+
+Positions are plain ``(x, y, z)`` tuples wrapped in :class:`Point3D` so that
+call sites stay explicit about units (metres everywhere).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True)
+class Point3D:
+    """A point in 3-D space, coordinates in metres."""
+
+    x: float
+    y: float
+    z: float = 0.0
+
+    def as_array(self) -> np.ndarray:
+        """Return the point as a ``float64`` numpy array of shape ``(3,)``."""
+        return np.array([self.x, self.y, self.z], dtype=float)
+
+    def distance_to(self, other: "Point3D") -> float:
+        """Euclidean distance to ``other`` in metres."""
+        return math.dist((self.x, self.y, self.z), (other.x, other.y, other.z))
+
+    def translate(self, dx: float = 0.0, dy: float = 0.0, dz: float = 0.0) -> "Point3D":
+        """Return a new point translated by the given offsets."""
+        return Point3D(self.x + dx, self.y + dy, self.z + dz)
+
+    def midpoint(self, other: "Point3D") -> "Point3D":
+        """Return the midpoint between this point and ``other``."""
+        return Point3D(
+            (self.x + other.x) / 2.0,
+            (self.y + other.y) / 2.0,
+            (self.z + other.z) / 2.0,
+        )
+
+    @staticmethod
+    def from_sequence(values: Sequence[float]) -> "Point3D":
+        """Build a point from any length-2 or length-3 sequence."""
+        if len(values) == 2:
+            return Point3D(float(values[0]), float(values[1]), 0.0)
+        if len(values) == 3:
+            return Point3D(float(values[0]), float(values[1]), float(values[2]))
+        raise ValueError(f"expected 2 or 3 coordinates, got {len(values)}")
+
+
+def pairwise_distances(points: Iterable[Point3D]) -> np.ndarray:
+    """Return the symmetric matrix of pairwise distances between ``points``."""
+    arr = np.array([p.as_array() for p in points], dtype=float)
+    if arr.size == 0:
+        return np.zeros((0, 0))
+    diff = arr[:, None, :] - arr[None, :, :]
+    return np.sqrt(np.sum(diff * diff, axis=-1))
+
+
+def distance_point_to_segment(point: Point3D, seg_a: Point3D, seg_b: Point3D) -> float:
+    """Shortest distance from ``point`` to the segment ``seg_a``--``seg_b``.
+
+    Used to compute the distance between a tag and the antenna trajectory,
+    which governs the depth of the tag's V-zone (Section 3.2 of the paper).
+    """
+    p = point.as_array()
+    a = seg_a.as_array()
+    b = seg_b.as_array()
+    ab = b - a
+    denom = float(np.dot(ab, ab))
+    if denom == 0.0:
+        return float(np.linalg.norm(p - a))
+    t = float(np.dot(p - a, ab)) / denom
+    t = min(1.0, max(0.0, t))
+    closest = a + t * ab
+    return float(np.linalg.norm(p - closest))
+
+
+def perpendicular_foot_parameter(point: Point3D, seg_a: Point3D, seg_b: Point3D) -> float:
+    """Return the parameter ``t`` of the perpendicular foot of ``point``.
+
+    ``t`` parameterises the infinite line through ``seg_a`` and ``seg_b`` as
+    ``a + t * (b - a)``; ``t`` is *not* clamped to [0, 1].  For an antenna
+    sweeping from ``seg_a`` to ``seg_b`` at constant speed, ``t`` is the
+    fraction of the sweep at which the antenna is perpendicular to the tag —
+    i.e. the location of the tag's V-zone bottom.
+    """
+    p = point.as_array()
+    a = seg_a.as_array()
+    b = seg_b.as_array()
+    ab = b - a
+    denom = float(np.dot(ab, ab))
+    if denom == 0.0:
+        raise ValueError("segment endpoints coincide; direction is undefined")
+    return float(np.dot(p - a, ab)) / denom

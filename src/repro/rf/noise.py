@@ -1,0 +1,73 @@
+"""Measurement-noise models for phase, RSSI, and missed reads.
+
+Three noise processes matter for reproducing the paper's measured profiles
+(Figures 5 and 6) as opposed to the clean reference profiles (Figures 3 and 4):
+
+* additive Gaussian **phase noise** on each reported phase sample;
+* additive Gaussian **RSSI noise** on each reported RSSI sample;
+* **dropouts** — reads that are lost either at random (decode errors) or
+  because the channel is in a deep multipath fade, which is what fragments
+  the profiles outside (and sometimes inside) the V-zone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .phase_model import wrap_phase
+
+
+@dataclass(frozen=True, slots=True)
+class NoiseModel:
+    """Per-sample measurement noise applied by the collector."""
+
+    phase_noise_std_rad: float = 0.1
+    """Standard deviation of Gaussian phase noise, radians (≈0.1 rad on COTS readers)."""
+
+    rssi_noise_std_db: float = 1.5
+    """Standard deviation of Gaussian RSSI noise, dB."""
+
+    random_dropout_probability: float = 0.05
+    """Probability that an otherwise-successful read is lost at random."""
+
+    fade_dropout_threshold_db: float = -12.0
+    """Multipath fades deeper than this (relative to the direct path) lose the read."""
+
+    def __post_init__(self) -> None:
+        if self.phase_noise_std_rad < 0:
+            raise ValueError("phase noise std must be non-negative")
+        if self.rssi_noise_std_db < 0:
+            raise ValueError("RSSI noise std must be non-negative")
+        if not 0.0 <= self.random_dropout_probability < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+
+    def noisy_phase(self, phase_rad: float, rng: np.random.Generator) -> float:
+        """Return ``phase_rad`` with Gaussian noise added, wrapped to [0, 2*pi)."""
+        if self.phase_noise_std_rad == 0.0:
+            return float(wrap_phase(phase_rad))
+        return float(wrap_phase(phase_rad + rng.normal(0.0, self.phase_noise_std_rad)))
+
+    def noisy_rssi(self, rssi_dbm: float, rng: np.random.Generator) -> float:
+        """Return ``rssi_dbm`` with Gaussian noise added."""
+        if self.rssi_noise_std_db == 0.0:
+            return float(rssi_dbm)
+        return float(rssi_dbm + rng.normal(0.0, self.rssi_noise_std_db))
+
+    def read_dropped(self, fade_db: float, rng: np.random.Generator) -> bool:
+        """Decide whether a read is lost, given the multipath fade depth."""
+        if fade_db <= self.fade_dropout_threshold_db:
+            return True
+        if self.random_dropout_probability == 0.0:
+            return False
+        return bool(rng.random() < self.random_dropout_probability)
+
+
+NOISELESS = NoiseModel(
+    phase_noise_std_rad=0.0,
+    rssi_noise_std_db=0.0,
+    random_dropout_probability=0.0,
+    fade_dropout_threshold_db=-1e9,
+)
+"""A noise model that changes nothing — used to generate reference-like profiles."""

@@ -1,0 +1,130 @@
+"""Backscatter phase model — Equation (1) of the paper.
+
+The reader reports, for every decoded tag reply, the phase offset between the
+transmitted carrier and the received backscattered signal::
+
+    theta = (2*pi * 2*l / lambda + mu) mod 2*pi
+    mu    = theta_Tx + theta_Rx + theta_TAG
+
+where ``l`` is the one-way reader-antenna-to-tag distance, ``lambda`` the
+carrier wavelength, and ``mu`` a device-dependent constant offset contributed
+by the reader transmit chain, the reader receive chain, and the tag's
+reflection characteristic.  COTS readers report the phase as a quantised word
+(12 bits on the ImpinJ R420).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .constants import PHASE_REPORT_BITS, TWO_PI
+
+
+@dataclass(frozen=True, slots=True)
+class DeviceOffsets:
+    """Constant phase offsets contributed by the hardware (``mu`` in Eq. 1).
+
+    All values are in radians.  They are constant for a given
+    (reader, antenna, tag, channel) combination, which is why relative methods
+    such as STPP can ignore their absolute value: they shift every sample of a
+    phase profile by the same amount.
+    """
+
+    theta_tx: float = 0.0
+    """Phase rotation of the reader transmit circuit."""
+
+    theta_rx: float = 0.0
+    """Phase rotation of the reader receive circuit."""
+
+    theta_tag: float = 0.0
+    """Phase rotation of the tag's reflection characteristic."""
+
+    @property
+    def total(self) -> float:
+        """The combined offset ``mu``, wrapped to [0, 2*pi)."""
+        return float(np.mod(self.theta_tx + self.theta_rx + self.theta_tag, TWO_PI))
+
+
+def wrap_phase(theta: "float | np.ndarray") -> "float | np.ndarray":
+    """Wrap a phase (scalar or array) into [0, 2*pi).
+
+    ``np.mod`` can return exactly ``2*pi`` for tiny negative inputs because of
+    floating-point rounding; those values are folded back to 0 so the result
+    is always strictly inside the interval.
+    """
+    wrapped = np.mod(theta, TWO_PI)
+    wrapped = np.where(wrapped >= TWO_PI, 0.0, wrapped)
+    if np.isscalar(theta):
+        return float(wrapped)
+    return wrapped
+
+
+def round_trip_phase(
+    distance_m: "float | np.ndarray",
+    wavelength_m: float,
+    offsets: DeviceOffsets | None = None,
+) -> "float | np.ndarray":
+    """Evaluate Eq. (1): the wrapped phase of a backscatter round trip.
+
+    Parameters
+    ----------
+    distance_m:
+        One-way antenna-to-tag distance(s) in metres; must be non-negative.
+    wavelength_m:
+        Carrier wavelength in metres.
+    offsets:
+        Optional device offsets (``mu``).  Defaults to zero offsets.
+
+    Returns
+    -------
+    float or numpy.ndarray
+        Phase in radians, wrapped to [0, 2*pi).
+    """
+    if wavelength_m <= 0:
+        raise ValueError(f"wavelength must be positive, got {wavelength_m}")
+    dist = np.asarray(distance_m, dtype=float)
+    if np.any(dist < 0):
+        raise ValueError("distances must be non-negative")
+    mu = offsets.total if offsets is not None else 0.0
+    theta = TWO_PI * (2.0 * dist) / wavelength_m + mu
+    wrapped = np.mod(theta, TWO_PI)
+    if np.isscalar(distance_m):
+        return float(wrapped)
+    return wrapped
+
+
+def quantise_phase(
+    theta: "float | np.ndarray", bits: int = PHASE_REPORT_BITS
+) -> "float | np.ndarray":
+    """Quantise phase values to the resolution a COTS reader reports.
+
+    The ImpinJ R420 reports phase as an integer word of ``bits`` bits mapped
+    onto [0, 2*pi).  Quantisation keeps the value inside [0, 2*pi).
+    """
+    if bits <= 0:
+        raise ValueError(f"bits must be positive, got {bits}")
+    levels = float(1 << bits)
+    step = TWO_PI / levels
+    wrapped = np.mod(np.asarray(theta, dtype=float), TWO_PI)
+    quantised = np.mod(np.round(wrapped / step) * step, TWO_PI)
+    if np.isscalar(theta):
+        return float(quantised)
+    return quantised
+
+
+def unwrap_phase_series(phases: np.ndarray) -> np.ndarray:
+    """Unwrap a wrapped phase series into a continuous series.
+
+    Thin wrapper over :func:`numpy.unwrap` kept here so that callers depend on
+    the phase model module rather than on numpy directly; unwrapping is used
+    when building reference profiles and when analysing V-zones.
+    """
+    return np.unwrap(np.asarray(phases, dtype=float))
+
+
+def phase_distance(theta_a: float, theta_b: float) -> float:
+    """Smallest angular distance between two wrapped phases, in [0, pi]."""
+    diff = abs(wrap_phase(theta_a) - wrap_phase(theta_b))
+    return float(min(diff, TWO_PI - diff))

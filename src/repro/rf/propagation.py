@@ -1,0 +1,146 @@
+"""Backscatter link budget: forward power, reverse power, and RSSI.
+
+The RSSI that a COTS reader reports for a tag reply is the reverse-link
+received power.  For a monostatic backscatter link (same antenna transmits and
+receives) the received power follows the radar-like relation
+
+    P_rx = P_tx + 2*G_reader + 2*G_tag - 2*FSPL(d) - L_backscatter
+
+in dB, where ``FSPL`` is the one-way free-space path loss.  The forward-link
+power at the tag determines whether the passive tag can energise at all
+(tag sensitivity), which bounds the reading zone.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from .antenna import DirectionalAntenna
+from .constants import (
+    DEFAULT_READER_SENSITIVITY_DBM,
+    DEFAULT_TAG_BACKSCATTER_LOSS_DB,
+    DEFAULT_TAG_SENSITIVITY_DBM,
+    DEFAULT_TX_POWER_DBM,
+    SPEED_OF_LIGHT,
+)
+from .geometry import Point3D
+
+
+def free_space_path_loss_db(distance_m: "float | np.ndarray", frequency_hz: float) -> "float | np.ndarray":
+    """One-way free-space path loss in dB.
+
+    Distances below 1 cm are clamped to 1 cm to keep the model finite when a
+    trajectory passes arbitrarily close to a tag.
+    """
+    if frequency_hz <= 0:
+        raise ValueError(f"frequency must be positive, got {frequency_hz}")
+    dist = np.maximum(np.asarray(distance_m, dtype=float), 0.01)
+    loss = 20.0 * np.log10(4.0 * math.pi * dist * frequency_hz / SPEED_OF_LIGHT)
+    if np.isscalar(distance_m):
+        return float(loss)
+    return loss
+
+
+def dbm_to_milliwatts(power_dbm: "float | np.ndarray") -> "float | np.ndarray":
+    """Convert dBm to milliwatts."""
+    return np.power(10.0, np.asarray(power_dbm, dtype=float) / 10.0)
+
+
+def milliwatts_to_dbm(power_mw: "float | np.ndarray") -> "float | np.ndarray":
+    """Convert milliwatts to dBm.  Raises on non-positive power."""
+    power = np.asarray(power_mw, dtype=float)
+    if np.any(power <= 0):
+        raise ValueError("power must be positive to convert to dBm")
+    result = 10.0 * np.log10(power)
+    if np.isscalar(power_mw):
+        return float(result)
+    return result
+
+
+@dataclass(frozen=True, slots=True)
+class LinkBudget:
+    """Backscatter link budget for a reader/antenna/tag combination."""
+
+    tx_power_dbm: float = DEFAULT_TX_POWER_DBM
+    antenna: DirectionalAntenna = DirectionalAntenna()
+    tag_gain_dbi: float = 2.0
+    """Gain of the tag's dipole antenna (≈2 dBi for a half-wave dipole)."""
+
+    backscatter_loss_db: float = DEFAULT_TAG_BACKSCATTER_LOSS_DB
+    tag_sensitivity_dbm: float = DEFAULT_TAG_SENSITIVITY_DBM
+    reader_sensitivity_dbm: float = DEFAULT_READER_SENSITIVITY_DBM
+
+    cable_loss_db: float = 1.0
+    """Loss of the coaxial cable between reader and antenna, applied twice."""
+
+    def forward_power_dbm(
+        self, antenna_pos: Point3D, tag_pos: Point3D, frequency_hz: float
+    ) -> float:
+        """Power arriving at the tag on the forward link, in dBm."""
+        distance = antenna_pos.distance_to(tag_pos)
+        gain = self.antenna.gain_dbi_towards(antenna_pos, tag_pos)
+        return (
+            self.tx_power_dbm
+            - self.cable_loss_db
+            + gain
+            + self.tag_gain_dbi
+            - free_space_path_loss_db(distance, frequency_hz)
+        )
+
+    def reverse_power_dbm(
+        self, antenna_pos: Point3D, tag_pos: Point3D, frequency_hz: float
+    ) -> float:
+        """Backscattered power arriving back at the reader (the RSSI), in dBm."""
+        distance = antenna_pos.distance_to(tag_pos)
+        gain = self.antenna.gain_dbi_towards(antenna_pos, tag_pos)
+        path_loss = free_space_path_loss_db(distance, frequency_hz)
+        return (
+            self.tx_power_dbm
+            - 2.0 * self.cable_loss_db
+            + 2.0 * gain
+            + 2.0 * self.tag_gain_dbi
+            - 2.0 * path_loss
+            - self.backscatter_loss_db
+        )
+
+    def tag_energised(
+        self, antenna_pos: Point3D, tag_pos: Point3D, frequency_hz: float
+    ) -> bool:
+        """True if the forward-link power exceeds the tag's sensitivity."""
+        return (
+            self.forward_power_dbm(antenna_pos, tag_pos, frequency_hz)
+            >= self.tag_sensitivity_dbm
+        )
+
+    def reply_decodable(
+        self, antenna_pos: Point3D, tag_pos: Point3D, frequency_hz: float
+    ) -> bool:
+        """True if the tag can both energise and be decoded by the reader."""
+        if not self.tag_energised(antenna_pos, tag_pos, frequency_hz):
+            return False
+        return (
+            self.reverse_power_dbm(antenna_pos, tag_pos, frequency_hz)
+            >= self.reader_sensitivity_dbm
+        )
+
+    def max_read_range_m(self, frequency_hz: float, resolution_m: float = 0.01) -> float:
+        """Estimate the boresight read range by scanning distance outward.
+
+        The range is forward-link limited for passive tags under normal
+        reader sensitivity; we scan rather than invert the link equations so
+        the estimate stays valid if either constraint binds.
+        """
+        antenna_pos = Point3D(0.0, 0.0, 0.0)
+        distance = resolution_m
+        last_good = 0.0
+        while distance < 50.0:
+            tag_pos = Point3D(0.0, 0.0, distance)
+            if self.reply_decodable(antenna_pos, tag_pos, frequency_hz):
+                last_good = distance
+            elif last_good > 0.0:
+                break
+            distance += resolution_m
+        return last_good

@@ -1,0 +1,68 @@
+"""C1G2 RFID protocol substrate: EPCs, tags, inventory protocols, reader.
+
+This subpackage simulates the parts of the EPC Class-1 Generation-2 air
+interface that determine *when* each tag is read during a sweep: frame-slotted
+ALOHA (with the adaptive Q algorithm), tree walking, and a reader that glues
+the protocol to the RF channel and produces the (timestamp, phase, RSSI)
+read records the paper's algorithms consume.
+"""
+
+from .aloha import (
+    AlohaTimings,
+    FrameSlottedAloha,
+    QAlgorithm,
+    SlotEvent,
+    SlotOutcome,
+    expected_success_rate,
+)
+from .epc import EPC, EPC_BITS, generate_epcs
+from .reader import ReaderConfig, RFIDReader
+from .reading import ReadLog, TagRead
+from .tag import (
+    ALIEN_ALN_9634,
+    ALIEN_ALN_9662,
+    ALIEN_ALN_9720,
+    ALIEN_ALR_9610,
+    PAPER_TAG_MODELS,
+    Tag,
+    TagCollection,
+    TagModel,
+    make_tags,
+)
+from .tree_walking import (
+    TreeWalkQuery,
+    TreeWalkResult,
+    identification_order,
+    query_overhead,
+    tree_walk,
+)
+
+__all__ = [
+    "ALIEN_ALN_9634",
+    "ALIEN_ALN_9662",
+    "ALIEN_ALN_9720",
+    "ALIEN_ALR_9610",
+    "AlohaTimings",
+    "EPC",
+    "EPC_BITS",
+    "FrameSlottedAloha",
+    "PAPER_TAG_MODELS",
+    "QAlgorithm",
+    "RFIDReader",
+    "ReadLog",
+    "ReaderConfig",
+    "SlotEvent",
+    "SlotOutcome",
+    "Tag",
+    "TagCollection",
+    "TagModel",
+    "TagRead",
+    "TreeWalkQuery",
+    "TreeWalkResult",
+    "expected_success_rate",
+    "generate_epcs",
+    "identification_order",
+    "make_tags",
+    "query_overhead",
+    "tree_walk",
+]

@@ -1,0 +1,106 @@
+"""Read records: what a COTS reader hands to application software.
+
+Every successfully decoded tag reply yields a :class:`TagRead` carrying the
+fields the ImpinJ LLRP API exposes and the paper consumes: EPC, a timestamp,
+the RF phase, the RSSI, and the channel index.  A :class:`ReadLog` groups the
+reads of one sweep and offers the per-tag views STPP and the baselines use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class TagRead:
+    """One successfully decoded tag reply."""
+
+    timestamp_s: float
+    """Time of the read, seconds since the start of the sweep."""
+
+    tag_id: str
+    """EPC of the replying tag (hex string)."""
+
+    phase_rad: float
+    """Reported RF phase, radians in [0, 2*pi)."""
+
+    rssi_dbm: float
+    """Reported RSSI in dBm."""
+
+    channel_index: int = 6
+    """Reader channel on which the read happened."""
+
+    antenna_port: int = 1
+    """Antenna port that produced the read (multi-antenna baselines use >1)."""
+
+
+@dataclass
+class ReadLog:
+    """An append-only log of reads from one sweep."""
+
+    reads: list[TagRead] = field(default_factory=list)
+
+    def append(self, read: TagRead) -> None:
+        """Append one read to the log."""
+        self.reads.append(read)
+
+    def extend(self, reads: Iterable[TagRead]) -> None:
+        """Append many reads to the log."""
+        self.reads.extend(reads)
+
+    def __len__(self) -> int:
+        return len(self.reads)
+
+    def __iter__(self) -> Iterator[TagRead]:
+        return iter(self.reads)
+
+    def tag_ids(self) -> list[str]:
+        """Distinct tag ids in first-seen order."""
+        seen: dict[str, None] = {}
+        for read in self.reads:
+            seen.setdefault(read.tag_id, None)
+        return list(seen)
+
+    def for_tag(self, tag_id: str) -> list[TagRead]:
+        """All reads of ``tag_id`` in timestamp order."""
+        return sorted(
+            (read for read in self.reads if read.tag_id == tag_id),
+            key=lambda read: read.timestamp_s,
+        )
+
+    def for_antenna(self, antenna_port: int) -> "ReadLog":
+        """A new log containing only reads from ``antenna_port``."""
+        return ReadLog([r for r in self.reads if r.antenna_port == antenna_port])
+
+    def timestamps(self, tag_id: str) -> np.ndarray:
+        """Timestamps of ``tag_id``'s reads as a float array (seconds)."""
+        return np.array([r.timestamp_s for r in self.for_tag(tag_id)], dtype=float)
+
+    def phases(self, tag_id: str) -> np.ndarray:
+        """Phases of ``tag_id``'s reads as a float array (radians)."""
+        return np.array([r.phase_rad for r in self.for_tag(tag_id)], dtype=float)
+
+    def rssis(self, tag_id: str) -> np.ndarray:
+        """RSSI values of ``tag_id``'s reads as a float array (dBm)."""
+        return np.array([r.rssi_dbm for r in self.for_tag(tag_id)], dtype=float)
+
+    def read_counts(self) -> dict[str, int]:
+        """Number of reads per tag id."""
+        counts: dict[str, int] = {}
+        for read in self.reads:
+            counts[read.tag_id] = counts.get(read.tag_id, 0) + 1
+        return counts
+
+    def duration_s(self) -> float:
+        """Span between first and last read, in seconds (0 when empty)."""
+        if not self.reads:
+            return 0.0
+        times = [r.timestamp_s for r in self.reads]
+        return max(times) - min(times)
+
+    def sorted_by_time(self) -> "ReadLog":
+        """A new log with reads sorted by timestamp."""
+        return ReadLog(sorted(self.reads, key=lambda read: read.timestamp_s))

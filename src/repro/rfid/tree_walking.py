@@ -1,0 +1,116 @@
+"""Binary tree-walking tag identification.
+
+Tree walking is the second identification protocol mentioned by the C1G2
+standard discussion in the paper (Section 2.1).  The reader performs a
+depth-first descent over the binary prefix tree of tag identifiers: it
+broadcasts a prefix; tags whose EPC starts with the prefix reply; if more than
+one replies (collision), the reader recurses on ``prefix+'0'`` and
+``prefix+'1'``; if exactly one replies it is identified.
+
+The resulting identification order is the lexicographic order of the EPCs —
+it depends only on the IDs stored in the tags, not on where the tags are,
+which is the paper's argument for why identification order cannot provide
+relative localization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .epc import EPC_BITS
+
+
+@dataclass(frozen=True, slots=True)
+class TreeWalkQuery:
+    """One prefix query issued during a tree walk."""
+
+    prefix: str
+    responders: int
+    """How many tags matched the prefix (0, 1, or more)."""
+
+    identified_tag: str | None = None
+    """The tag identified by this query, when ``responders == 1``."""
+
+
+@dataclass
+class TreeWalkResult:
+    """The full trace of a tree-walking inventory."""
+
+    identified_order: list[str] = field(default_factory=list)
+    queries: list[TreeWalkQuery] = field(default_factory=list)
+
+    @property
+    def query_count(self) -> int:
+        """Total number of prefix queries issued."""
+        return len(self.queries)
+
+
+def tree_walk(tag_bit_ids: dict[str, str]) -> TreeWalkResult:
+    """Identify all tags in ``tag_bit_ids`` via binary tree walking.
+
+    Parameters
+    ----------
+    tag_bit_ids:
+        Mapping of tag id to its EPC bit string (MSB first).  All bit strings
+        must share the same length.
+
+    Returns
+    -------
+    TreeWalkResult
+        Identification order (lexicographic in the bit strings) and the query
+        trace, useful for analysing protocol overhead.
+    """
+    if not tag_bit_ids:
+        return TreeWalkResult()
+    lengths = {len(bits) for bits in tag_bit_ids.values()}
+    if len(lengths) != 1:
+        raise ValueError(f"all EPC bit strings must share a length, got {sorted(lengths)}")
+    bit_length = lengths.pop()
+    if bit_length > EPC_BITS:
+        raise ValueError(f"bit strings longer than {EPC_BITS} bits are not valid EPCs")
+
+    result = TreeWalkResult()
+
+    def matching(prefix: str) -> list[str]:
+        return [tag_id for tag_id, bits in tag_bit_ids.items() if bits.startswith(prefix)]
+
+    def descend(prefix: str) -> None:
+        responders = matching(prefix)
+        if not responders:
+            result.queries.append(TreeWalkQuery(prefix, 0))
+            return
+        if len(responders) == 1:
+            tag_id = responders[0]
+            result.queries.append(TreeWalkQuery(prefix, 1, tag_id))
+            result.identified_order.append(tag_id)
+            return
+        result.queries.append(TreeWalkQuery(prefix, len(responders)))
+        if len(prefix) >= bit_length:
+            # Identical IDs cannot be separated; identify them in stored order.
+            for tag_id in responders:
+                result.identified_order.append(tag_id)
+            return
+        descend(prefix + "0")
+        descend(prefix + "1")
+
+    descend("")
+    return result
+
+
+def identification_order(tag_bit_ids: dict[str, str]) -> list[str]:
+    """Just the identification order of a tree walk over ``tag_bit_ids``."""
+    return tree_walk(tag_bit_ids).identified_order
+
+
+def query_overhead(tag_bit_ids: dict[str, str]) -> float:
+    """Queries issued per identified tag (protocol overhead measure)."""
+    result = tree_walk(tag_bit_ids)
+    if not result.identified_order:
+        return 0.0
+    return result.query_count / len(result.identified_order)
+
+
+def walk_sequence(tag_bit_ids: Sequence[tuple[str, str]]) -> list[str]:
+    """Convenience wrapper accepting (tag_id, bits) pairs instead of a dict."""
+    return identification_order(dict(tag_bit_ids))

@@ -1,0 +1,68 @@
+"""Runs a scene through the reader simulator and assembles phase profiles.
+
+This is the glue between the substrates (RF channel, C1G2 protocol, motion)
+and the STPP core: it produces, for every tag, the
+:class:`~repro.core.phase_profile.PhaseProfile` a real deployment would log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.phase_profile import PhaseProfile, ProfileSet
+from ..rfid.reader import RFIDReader
+from ..rfid.reading import ReadLog
+from .scene import Scene
+
+
+@dataclass(frozen=True, slots=True)
+class SweepResult:
+    """Everything one simulated sweep produced."""
+
+    profiles: ProfileSet
+    read_log: ReadLog
+    duration_s: float
+
+
+def profiles_from_read_log(read_log: ReadLog, channel_index: int = 6) -> ProfileSet:
+    """Group a read log into one phase profile per tag."""
+    profile_set = ProfileSet()
+    for tag_id in read_log.tag_ids():
+        reads = read_log.for_tag(tag_id)
+        profile = PhaseProfile.from_reads(
+            tag_id=tag_id,
+            timestamps_s=np.array([r.timestamp_s for r in reads], dtype=float),
+            phases_rad=np.array([r.phase_rad for r in reads], dtype=float),
+            rssi_dbm=np.array([r.rssi_dbm for r in reads], dtype=float),
+            channel_index=channel_index,
+        )
+        profile_set.add(profile)
+    return profile_set
+
+
+def collect_sweep(scene: Scene) -> SweepResult:
+    """Simulate ``scene`` and return profiles plus the raw read log.
+
+    Tags that were never successfully read during the sweep have no entry in
+    the resulting :class:`ProfileSet`; callers that must account for every tag
+    (e.g. the ordering accuracy metric) should compare against
+    ``scene.tags.ids()``.
+    """
+    reader = RFIDReader(config=scene.reader_config, protocol=scene.protocol)
+    read_log = reader.sweep(
+        tags=scene.tags,
+        antenna_position=scene.scenario.antenna_position,
+        duration_s=scene.scenario.duration_s,
+        tag_position=scene.scenario.tag_position,
+        rng=scene.rng(),
+    )
+    profiles = profiles_from_read_log(
+        read_log, channel_index=scene.reader_config.channel.channel_index
+    )
+    return SweepResult(
+        profiles=profiles,
+        read_log=read_log,
+        duration_s=scene.scenario.duration_s,
+    )

@@ -1,0 +1,53 @@
+"""Workload generators: tag layouts, the library shelf, the airport conveyor."""
+
+from .airport import (
+    BELT_SPEED_MPS,
+    BaggageBatch,
+    EVENING_PEAK,
+    MIDDAY_OFF_PEAK,
+    MORNING_PEAK,
+    PAPER_PERIODS,
+    TrafficPeriod,
+    baggage_batch,
+    period_batches,
+)
+from .layouts import (
+    column_layout,
+    grid_layout,
+    paper_test_cases,
+    random_spacing_row,
+    reference_tag_grid,
+    row_layout,
+    staircase_layout,
+)
+from .library import (
+    Book,
+    Bookshelf,
+    detect_misplaced_books,
+    generate_bookshelf,
+    misplace_books,
+)
+
+__all__ = [
+    "BELT_SPEED_MPS",
+    "BaggageBatch",
+    "Book",
+    "Bookshelf",
+    "EVENING_PEAK",
+    "MIDDAY_OFF_PEAK",
+    "MORNING_PEAK",
+    "PAPER_PERIODS",
+    "TrafficPeriod",
+    "baggage_batch",
+    "column_layout",
+    "detect_misplaced_books",
+    "generate_bookshelf",
+    "grid_layout",
+    "misplace_books",
+    "paper_test_cases",
+    "period_batches",
+    "random_spacing_row",
+    "reference_tag_grid",
+    "row_layout",
+    "staircase_layout",
+]

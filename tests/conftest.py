@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.phase_profile import PhaseProfile
+from repro.rf.geometry import Point3D
+from repro.rfid.tag import make_tags
+from repro.simulation.collector import collect_sweep
+from repro.simulation.presets import (
+    standard_antenna_moving_scene,
+    standard_tag_moving_scene,
+)
+
+
+@pytest.fixture(scope="session")
+def small_row_sweep():
+    """One simulated antenna-moving sweep over a 4-tag row (session-cached)."""
+    positions = [Point3D(i * 0.10, 0.0, 0.0) for i in range(4)]
+    tags = make_tags(positions, seed=42)
+    scene = standard_antenna_moving_scene(tags, seed=42)
+    return tags, scene, collect_sweep(scene)
+
+
+@pytest.fixture(scope="session")
+def staircase_sweep():
+    """One simulated tag-moving sweep over a 6-tag staircase (session-cached)."""
+    positions = [Point3D(i * 0.10, (i % 3) * 0.10, 0.0) for i in range(6)]
+    tags = make_tags(positions, seed=7)
+    scene = standard_tag_moving_scene(tags, seed=7)
+    return tags, scene, collect_sweep(scene)
+
+
+@pytest.fixture()
+def synthetic_vzone_profile():
+    """A clean synthetic profile with a known V-zone bottom at t = 2.0 s."""
+    times = np.linspace(0.0, 4.0, 400)
+    wavelength = 0.3262
+    distance = np.sqrt((0.3 * (times - 2.0)) ** 2 + 0.35**2)
+    phases = np.mod(4.0 * np.pi * distance / wavelength, 2.0 * np.pi)
+    return PhaseProfile(tag_id="synthetic", timestamps_s=times, phases_rad=phases)

@@ -1,0 +1,144 @@
+"""Unit tests for the baseline schemes and the evaluation metrics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BackPosScheme,
+    GRssiScheme,
+    LandmarcScheme,
+    OTrackScheme,
+    STPPScheme,
+)
+from repro.evaluation.metrics import (
+    detection_success_rate,
+    evaluate_ordering,
+    ordering_accuracy,
+    pairwise_order_accuracy,
+    strict_ordering_accuracy,
+    summarise,
+)
+from repro.rf.geometry import Point3D
+from repro.workloads.layouts import reference_tag_grid, row_layout
+from repro.evaluation.runner import standard_experiment
+
+
+class TestMetrics:
+    def test_paper_example(self):
+        # Paper: true order 1-2-3-4-5, output 1-2-4-3-5 -> 3/5 = 60%.
+        true = {"1": 1.0, "2": 2.0, "3": 3.0, "4": 4.0, "5": 5.0}
+        predicted = ["1", "2", "4", "3", "5"]
+        assert ordering_accuracy(true, predicted) == pytest.approx(0.6)
+        assert strict_ordering_accuracy(["1", "2", "3", "4", "5"], predicted) == pytest.approx(0.6)
+
+    def test_tie_groups_are_interchangeable(self):
+        true = {"a": 0.0, "b": 0.0, "c": 1.0}
+        assert ordering_accuracy(true, ["b", "a", "c"]) == pytest.approx(1.0)
+        assert ordering_accuracy(true, ["a", "b", "c"]) == pytest.approx(1.0)
+        assert ordering_accuracy(true, ["c", "b", "a"]) == pytest.approx(1.0 / 3.0)
+
+    def test_missing_tags_count_as_wrong(self):
+        true = {"a": 0.0, "b": 1.0, "c": 2.0}
+        assert ordering_accuracy(true, ["a", "b"]) == pytest.approx(2.0 / 3.0)
+
+    def test_pairwise_accuracy(self):
+        true = {"a": 0.0, "b": 1.0, "c": 2.0}
+        assert pairwise_order_accuracy(true, ["a", "b", "c"]) == pytest.approx(1.0)
+        assert pairwise_order_accuracy(true, ["c", "b", "a"]) == pytest.approx(0.0)
+
+    def test_pairwise_ignores_ties(self):
+        true = {"a": 0.0, "b": 0.0}
+        assert pairwise_order_accuracy(true, ["b", "a"]) == pytest.approx(1.0)
+
+    def test_evaluate_ordering_combined(self):
+        true = {"a": 0.0, "b": 1.0}
+        evaluation = evaluate_ordering(true, true, ["a", "b"], ["b", "a"])
+        assert evaluation.accuracy_x == 1.0
+        assert evaluation.accuracy_y == 0.0
+        assert evaluation.combined == pytest.approx(0.5)
+
+    def test_detection_success_rate(self):
+        assert detection_success_rate([True, True, False, True]) == pytest.approx(0.75)
+        with pytest.raises(ValueError):
+            detection_success_rate([])
+
+    def test_summarise_quartiles(self):
+        summary = summarise([0.0, 0.25, 0.5, 0.75, 1.0])
+        assert summary["median"] == pytest.approx(0.5)
+        assert summary["iqr"] == pytest.approx(0.5)
+        assert summary["min"] == 0.0 and summary["max"] == 1.0
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            ordering_accuracy({}, [])
+        with pytest.raises(ValueError):
+            summarise([])
+
+
+@pytest.fixture(scope="module")
+def comparison_experiment():
+    """A shared sweep with reference tags, used by all baseline tests."""
+    positions = [Point3D(i * 0.12, (i % 2) * 0.08, 0.0) for i in range(6)]
+    grid = reference_tag_grid(0.8, 0.3, spacing_m=0.2, origin=Point3D(-0.1, -0.1, 0.0))
+    return standard_experiment(positions, seed=31, reference_grid=grid)
+
+
+class TestBaselines:
+    def test_grssi_orders_most_tags(self, comparison_experiment):
+        run = comparison_experiment.run_scheme(GRssiScheme())
+        assert len(run.result.x_ordering.ordered_ids) == len(comparison_experiment.target_ids)
+        assert 0.0 <= run.evaluation.accuracy_x <= 1.0
+
+    def test_otrack_produces_orderings(self, comparison_experiment):
+        run = comparison_experiment.run_scheme(OTrackScheme())
+        assert set(run.result.x_ordering.ordered_ids) <= set(comparison_experiment.target_ids)
+        assert run.latency_s >= 0.0
+
+    def test_landmarc_uses_reference_tags(self, comparison_experiment):
+        scheme = LandmarcScheme(reference_positions=comparison_experiment.reference_positions)
+        run = comparison_experiment.run_scheme(scheme)
+        assert run.result.metadata["reference_tag_count"] == len(
+            comparison_experiment.reference_positions
+        )
+        assert len(run.result.x_ordering.ordered_ids) > 0
+
+    def test_landmarc_requires_enough_references(self, comparison_experiment):
+        scheme = LandmarcScheme(reference_positions={})
+        with pytest.raises(ValueError):
+            scheme.order(comparison_experiment.read_log, comparison_experiment.target_ids)
+
+    def test_backpos_requires_geometry(self, comparison_experiment):
+        with pytest.raises(ValueError):
+            BackPosScheme().order(
+                comparison_experiment.read_log, comparison_experiment.target_ids
+            )
+
+    def test_backpos_estimates_positions(self, comparison_experiment):
+        xs = [comparison_experiment.true_x[t] for t in comparison_experiment.target_ids]
+        ys = [comparison_experiment.true_y[t] for t in comparison_experiment.target_ids]
+        scheme = BackPosScheme(
+            antenna_position_at=comparison_experiment.scene.scenario.antenna_position,
+            region_min=Point3D(min(xs) - 0.3, min(ys) - 0.3, 0.0),
+            region_max=Point3D(max(xs) + 0.3, max(ys) + 0.3, 0.0),
+            grid_resolution_m=0.02,
+        )
+        run = comparison_experiment.run_scheme(scheme)
+        assert run.evaluation.pairwise_x > 0.4
+
+    def test_stpp_scheme_beats_grssi_on_x(self, comparison_experiment):
+        stpp = comparison_experiment.run_scheme(STPPScheme())
+        grssi = comparison_experiment.run_scheme(GRssiScheme())
+        assert stpp.evaluation.accuracy_x >= grssi.evaluation.accuracy_x
+
+    def test_stpp_scheme_orders_only_targets(self, comparison_experiment):
+        run = comparison_experiment.run_scheme(STPPScheme())
+        assert set(run.result.x_ordering.ordered_ids) <= set(comparison_experiment.target_ids)
+
+
+class TestSchemesOnRow:
+    def test_all_schemes_run_on_plain_row(self):
+        experiment = standard_experiment(row_layout(5, 0.15), seed=11)
+        schemes = [GRssiScheme(), OTrackScheme(), STPPScheme()]
+        for scheme in schemes:
+            run = experiment.run_scheme(scheme)
+            assert 0.0 <= run.evaluation.accuracy_x <= 1.0

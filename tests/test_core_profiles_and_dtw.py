@@ -1,0 +1,192 @@
+"""Unit tests for phase profiles, segmentation, and the DTW variants."""
+
+import numpy as np
+import pytest
+
+from repro.core.dtw import (
+    dtw_align,
+    segmented_dtw_align,
+    subsequence_dtw,
+    warp_query_to_reference,
+)
+from repro.core.phase_profile import PhaseProfile, ProfileSet
+from repro.core.segmentation import (
+    CoarseRepresentation,
+    coarse_representation,
+    segment_distance_matrix,
+    segment_profile,
+    segment_range_distance,
+)
+from repro.rf.constants import TWO_PI
+
+
+def make_profile(times, phases, tag_id="t"):
+    return PhaseProfile(tag_id=tag_id, timestamps_s=np.asarray(times, float), phases_rad=np.asarray(phases, float))
+
+
+class TestPhaseProfile:
+    def test_basic_properties(self):
+        profile = make_profile([0.0, 0.1, 0.2], [1.0, 2.0, 3.0])
+        assert len(profile) == 3
+        assert profile.duration_s == pytest.approx(0.2)
+        assert profile.mean_sample_rate_hz() == pytest.approx(10.0)
+        assert not profile.is_empty
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_profile([0.0, 0.1], [1.0])
+        with pytest.raises(ValueError):
+            make_profile([0.1, 0.0], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            make_profile([0.0], [7.0])  # out of [0, 2*pi)
+
+    def test_slice_time(self):
+        profile = make_profile([0.0, 0.1, 0.2, 0.3], [1.0, 2.0, 3.0, 4.0])
+        window = profile.slice_time(0.05, 0.25)
+        assert len(window) == 2
+        assert window.phases_rad.tolist() == [2.0, 3.0]
+        with pytest.raises(ValueError):
+            profile.slice_time(0.3, 0.1)
+
+    def test_slice_index(self):
+        profile = make_profile([0.0, 0.1, 0.2], [1.0, 2.0, 3.0])
+        assert len(profile.slice_index(1, 3)) == 2
+
+    def test_from_reads_sorts_and_wraps(self):
+        profile = PhaseProfile.from_reads("t", [0.2, 0.0], [7.0, 1.0])
+        assert profile.timestamps_s.tolist() == [0.0, 0.2]
+        assert profile.phases_rad[1] == pytest.approx(7.0 % TWO_PI)
+
+    def test_empty_profile_properties(self):
+        profile = make_profile([], [])
+        assert profile.is_empty
+        assert profile.duration_s == 0.0
+        with pytest.raises(ValueError):
+            _ = profile.start_time_s
+
+    def test_metadata_merge(self):
+        profile = make_profile([0.0], [1.0]).with_metadata(source="test")
+        assert profile.metadata["source"] == "test"
+
+    def test_profile_set(self):
+        profiles = ProfileSet()
+        profiles.add(make_profile([0.0], [1.0], "a"))
+        profiles.add(make_profile([], [], "b"))
+        assert len(profiles) == 2
+        assert "a" in profiles
+        assert profiles.non_empty().tag_ids() == ["a"]
+        assert profiles.min_samples() == 0
+
+
+class TestSegmentation:
+    def test_segment_count_and_coverage(self):
+        profile = make_profile(np.linspace(0, 1, 20), np.linspace(0.5, 1.5, 20))
+        segments = segment_profile(profile, window_size=5)
+        assert sum(s.sample_count for s in segments) == 20
+        assert len(segments) == 4
+
+    def test_segments_split_at_phase_jumps(self):
+        phases = [0.2, 0.1, 6.2, 6.1, 6.0]
+        profile = make_profile(np.linspace(0, 1, 5), phases)
+        segments = segment_profile(profile, window_size=5)
+        assert len(segments) == 2
+        assert segments[0].sample_count == 2
+
+    def test_segment_ranges(self):
+        profile = make_profile(np.linspace(0, 1, 10), np.linspace(1.0, 2.0, 10))
+        segments = segment_profile(profile, window_size=10)
+        assert segments[0].min_phase_rad == pytest.approx(1.0)
+        assert segments[0].max_phase_rad == pytest.approx(2.0)
+
+    def test_segment_range_distance(self):
+        profile = make_profile(np.linspace(0, 1, 10), np.concatenate([np.full(5, 1.0), np.full(5, 3.0)]))
+        segments = segment_profile(profile, window_size=5)
+        assert segment_range_distance(segments[0], segments[1]) == pytest.approx(2.0)
+        assert segment_range_distance(segments[0], segments[0]) == 0.0
+
+    def test_distance_matrix_shape(self):
+        profile = make_profile(np.linspace(0, 1, 20), np.linspace(0.5, 1.5, 20))
+        segments = segment_profile(profile, window_size=4)
+        matrix = segment_distance_matrix(segments, segments)
+        assert matrix.shape == (len(segments), len(segments))
+        assert np.allclose(np.diag(matrix), 0.0)
+
+    def test_invalid_window_size(self):
+        profile = make_profile([0.0], [1.0])
+        with pytest.raises(ValueError):
+            segment_profile(profile, 0)
+
+    def test_coarse_representation_means(self):
+        values = np.arange(20, dtype=float)
+        rep = coarse_representation("t", values, 4)
+        assert rep.segment_count == 4
+        assert rep.segment_means_rad[0] == pytest.approx(np.mean(values[:5]))
+
+    def test_coarse_representation_validation(self):
+        with pytest.raises(ValueError):
+            coarse_representation("t", np.arange(3.0), 5)
+        with pytest.raises(ValueError):
+            CoarseRepresentation("t", np.arange(3.0), 4)
+
+
+class TestDTW:
+    def test_identical_sequences_zero_cost(self):
+        seq = np.array([1.0, 2.0, 3.0, 2.0, 1.0])
+        result = dtw_align(seq, seq)
+        assert result.cost == pytest.approx(0.0)
+        assert result.path[0] == (0, 0)
+        assert result.path[-1] == (4, 4)
+
+    def test_warping_absorbs_stretch(self):
+        reference = np.array([0.0, 1.0, 2.0, 1.0, 0.0])
+        stretched = np.repeat(reference, 3)
+        result = dtw_align(reference, stretched)
+        assert result.cost == pytest.approx(0.0)
+
+    def test_path_monotone(self):
+        rng = np.random.default_rng(0)
+        result = dtw_align(rng.random(20), rng.random(30))
+        rs = [r for r, _ in result.path]
+        qs = [q for _, q in result.path]
+        assert rs == sorted(rs)
+        assert qs == sorted(qs)
+
+    def test_subsequence_finds_embedded_pattern(self):
+        pattern = np.array([3.0, 1.0, 3.0])
+        query = np.concatenate([np.full(10, 5.0), pattern, np.full(10, 5.0)])
+        result = subsequence_dtw(pattern, query)
+        assert 9 <= result.query_start <= 11
+        assert 11 <= result.query_end <= 13
+
+    def test_query_indices_for_reference_range(self):
+        reference = np.array([0.0, 1.0, 2.0, 3.0])
+        query = np.array([0.0, 1.0, 2.0, 3.0])
+        result = dtw_align(reference, query)
+        assert result.query_indices_for_reference_range(1, 2) == (1, 2)
+        with pytest.raises(ValueError):
+            result.query_indices_for_reference_range(10, 12)
+
+    def test_empty_sequences_rejected(self):
+        with pytest.raises(ValueError):
+            dtw_align(np.array([]), np.array([1.0]))
+        with pytest.raises(ValueError):
+            subsequence_dtw(np.array([1.0]), np.array([]))
+
+    def test_segmented_dtw_prefers_matching_shape(self):
+        times = np.linspace(0, 2, 100)
+        v_shape = np.abs(times - 1.0) * 3.0 + 0.5
+        profile = make_profile(times, np.minimum(v_shape, 6.2))
+        segments = segment_profile(profile, 5)
+        result = segmented_dtw_align(segments, segments, subsequence=False)
+        assert result.cost == pytest.approx(0.0)
+
+    def test_segmented_dtw_requires_segments(self):
+        with pytest.raises(ValueError):
+            segmented_dtw_align([], [])
+
+    def test_warp_query_to_reference_shape(self):
+        reference = np.array([0.0, 1.0, 2.0])
+        query = np.array([0.0, 0.5, 1.0, 1.5, 2.0])
+        result = dtw_align(reference, query)
+        warped = warp_query_to_reference(result, query)
+        assert warped.shape == (3,)

@@ -1,0 +1,93 @@
+"""Unit tests for the experiment runner, latency measurement, and reporting."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GRssiScheme, OTrackScheme
+from repro.evaluation.latency import latency_cdf, measure_scheme_latency
+from repro.evaluation.runner import mean_accuracy, run_stpp, standard_experiment
+from repro.reporting.tables import format_accuracy_map, format_series, format_table
+from repro.workloads.layouts import row_layout, staircase_layout
+
+
+@pytest.fixture(scope="module")
+def row_experiment():
+    return standard_experiment(row_layout(5, 0.12), seed=13)
+
+
+class TestRunner:
+    def test_experiment_fields(self, row_experiment):
+        assert len(row_experiment.target_ids) == 5
+        assert set(row_experiment.true_x) == set(row_experiment.target_ids)
+        assert len(row_experiment.read_log) > 0
+
+    def test_run_scheme_produces_evaluation(self, row_experiment):
+        run = row_experiment.run_scheme(GRssiScheme())
+        assert run.scheme == "G-RSSI"
+        assert 0.0 <= run.evaluation.accuracy_x <= 1.0
+        assert run.latency_s > 0.0
+
+    def test_run_stpp(self, row_experiment):
+        evaluation, latency = run_stpp(row_experiment)
+        assert evaluation.total_tags == 5
+        assert latency > 0.0
+
+    def test_reference_grid_excluded_from_targets(self):
+        experiment = standard_experiment(
+            staircase_layout(4, 0.1, 0.1), seed=1,
+            reference_grid=row_layout(3, 0.3, y_m=-0.05),
+        )
+        assert len(experiment.target_ids) == 4
+        assert len(experiment.reference_positions) == 3
+        # reference tags are read too
+        assert set(experiment.reference_positions) <= set(experiment.read_log.tag_ids())
+
+    def test_mean_accuracy_requires_runs(self):
+        with pytest.raises(ValueError):
+            mean_accuracy([])
+
+
+class TestLatency:
+    def test_latency_samples_per_tag(self, row_experiment):
+        samples = measure_scheme_latency(
+            OTrackScheme(), row_experiment.read_log, row_experiment.target_ids, repeats=1
+        )
+        assert len(samples) == len(row_experiment.target_ids)
+        assert all(s.latency_s > 0 for s in samples)
+
+    def test_latency_cdf_monotone(self, row_experiment):
+        samples = measure_scheme_latency(
+            GRssiScheme(), row_experiment.read_log, row_experiment.target_ids, repeats=1
+        )
+        values, probabilities = latency_cdf(samples)
+        assert np.all(np.diff(values) >= 0)
+        assert probabilities[-1] == pytest.approx(1.0)
+
+    def test_latency_cdf_empty_rejected(self):
+        with pytest.raises(ValueError):
+            latency_cdf([])
+
+    def test_invalid_repeats(self, row_experiment):
+        with pytest.raises(ValueError):
+            measure_scheme_latency(
+                GRssiScheme(), row_experiment.read_log, row_experiment.target_ids, repeats=0
+            )
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(("name", "value"), [("a", 1.0), ("bb", 0.5)], title="demo")
+        lines = text.splitlines()
+        assert lines[0] == "demo"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_series(self):
+        text = format_series({0.02: 0.4, 0.10: 0.9}, name="accuracy")
+        assert "accuracy" in text
+        assert "0.900" in text
+
+    def test_format_accuracy_map(self):
+        text = format_accuracy_map({"STPP": {"x": 0.9, "y": 0.8}, "G-RSSI": {"x": 0.2, "y": 0.3}})
+        assert "STPP" in text and "G-RSSI" in text
+        assert "0.900" in text

@@ -1,0 +1,179 @@
+"""Unit tests for the motion substrate and the scene/collector glue."""
+
+import numpy as np
+import pytest
+
+from repro.motion.scenarios import (
+    antenna_moving_scenario,
+    equivalent_antenna_motion,
+    tag_moving_scenario,
+)
+from repro.motion.speed_profiles import (
+    ConstantSpeedProfile,
+    PiecewiseSpeedProfile,
+    jittered_speed_profile,
+)
+from repro.motion.trajectory import LinearTrajectory, WaypointTrajectory
+from repro.rf.geometry import Point3D
+from repro.rfid.tag import make_tags
+from repro.simulation.collector import collect_sweep, profiles_from_read_log
+from repro.simulation.presets import (
+    SweepGeometry,
+    clean_channel,
+    indoor_channel,
+    standard_antenna_moving_scene,
+    standard_tag_moving_scene,
+)
+from repro.simulation.scene import Scene
+
+
+class TestSpeedProfiles:
+    def test_constant_profile(self):
+        profile = ConstantSpeedProfile(0.5)
+        assert profile.distance_at(2.0) == pytest.approx(1.0)
+        assert profile.time_to_cover(1.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            ConstantSpeedProfile(0.0)
+
+    def test_piecewise_profile_integrates(self):
+        profile = PiecewiseSpeedProfile([(1.0, 0.1), (1.0, 0.3)])
+        assert profile.distance_at(1.0) == pytest.approx(0.1)
+        assert profile.distance_at(2.0) == pytest.approx(0.4)
+        # beyond definition: continues at the last speed
+        assert profile.distance_at(3.0) == pytest.approx(0.7)
+
+    def test_piecewise_time_to_cover_inverse(self):
+        profile = PiecewiseSpeedProfile([(1.0, 0.1), (2.0, 0.2)])
+        for distance in (0.05, 0.1, 0.3, 0.6):
+            assert profile.distance_at(profile.time_to_cover(distance)) == pytest.approx(distance)
+
+    def test_piecewise_validation(self):
+        with pytest.raises(ValueError):
+            PiecewiseSpeedProfile([])
+        with pytest.raises(ValueError):
+            PiecewiseSpeedProfile([(1.0, 0.0)])
+
+    def test_jittered_profile_monotone_distance(self):
+        profile = jittered_speed_profile(0.3, 10.0, rng=np.random.default_rng(0))
+        times = np.linspace(0, 10, 50)
+        distances = [profile.distance_at(t) for t in times]
+        assert all(b >= a for a, b in zip(distances, distances[1:]))
+
+    def test_jittered_profile_bounded_speeds(self):
+        profile = jittered_speed_profile(0.3, 5.0, jitter_fraction=0.3, rng=np.random.default_rng(1))
+        for _, speed in profile.segments:
+            assert 0.3 * 0.3 <= speed <= 2.0 * 0.3
+
+
+class TestTrajectories:
+    def test_linear_trajectory_endpoints(self):
+        trajectory = LinearTrajectory(Point3D(0, 0, 0), Point3D(1, 0, 0), ConstantSpeedProfile(0.5))
+        assert trajectory.duration_s == pytest.approx(2.0)
+        assert trajectory.position(0.0) == Point3D(0, 0, 0)
+        assert trajectory.position(10.0) == Point3D(1, 0, 0)
+        assert trajectory.position(1.0).x == pytest.approx(0.5)
+
+    def test_linear_trajectory_progress_inverse(self):
+        trajectory = LinearTrajectory(Point3D(0, 0, 0), Point3D(2, 0, 0), ConstantSpeedProfile(0.4))
+        t = trajectory.time_at_progress(0.25)
+        assert trajectory.progress(t) == pytest.approx(0.25)
+
+    def test_degenerate_trajectory_rejected(self):
+        with pytest.raises(ValueError):
+            LinearTrajectory(Point3D(0, 0, 0), Point3D(0, 0, 0))
+
+    def test_waypoint_trajectory_path_length(self):
+        trajectory = WaypointTrajectory(
+            [Point3D(0, 0, 0), Point3D(1, 0, 0), Point3D(1, 1, 0)], ConstantSpeedProfile(1.0)
+        )
+        assert trajectory.path_length_m == pytest.approx(2.0)
+        assert trajectory.position(1.5) == Point3D(1, 0.5, 0)
+
+    def test_waypoint_validation(self):
+        with pytest.raises(ValueError):
+            WaypointTrajectory([Point3D(0, 0, 0)])
+        with pytest.raises(ValueError):
+            WaypointTrajectory([Point3D(0, 0, 0), Point3D(0, 0, 0)])
+
+
+class TestScenarios:
+    def test_antenna_moving_scenario_static_tags(self):
+        trajectory = LinearTrajectory(Point3D(0, 0, 0.3), Point3D(1, 0, 0.3), ConstantSpeedProfile(0.5))
+        scenario = antenna_moving_scenario(trajectory, {"t": Point3D(0.5, 0.1, 0)})
+        assert scenario.tag_position("t", 0.0) == scenario.tag_position("t", 1.0)
+        assert scenario.antenna_position(0.0) != scenario.antenna_position(1.0)
+
+    def test_tag_moving_scenario_preserves_relative_geometry(self):
+        positions = {"a": Point3D(0, 0, 0), "b": Point3D(0.1, 0.05, 0)}
+        scenario = tag_moving_scenario(Point3D(-0.3, -0.15, 0.3), positions, (-1, 0, 0), 0.3, 5.0)
+        for t in (0.0, 1.0, 3.0):
+            a = scenario.tag_position("a", t)
+            b = scenario.tag_position("b", t)
+            assert a.distance_to(b) == pytest.approx(positions["a"].distance_to(positions["b"]))
+
+    def test_equivalence_of_moving_cases(self):
+        # The antenna-to-tag distance over time must be identical whether we
+        # describe the sweep as antenna-moving or tag-moving (paper §1.3).
+        positions = {"a": Point3D(0.4, 0.1, 0.0)}
+        scenario = tag_moving_scenario(Point3D(-0.3, -0.15, 0.3), positions, (-1, 0, 0), 0.3, 5.0)
+        relative = equivalent_antenna_motion(scenario, "a")
+        for t in np.linspace(0, 5, 11):
+            direct = scenario.antenna_position(t).distance_to(scenario.tag_position("a", t))
+            rel = relative(t).distance_to(positions["a"])
+            assert direct == pytest.approx(rel, abs=1e-9)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            tag_moving_scenario(Point3D(0, 0, 0), {"a": Point3D(0, 0, 0)}, (0, 0, 0), 0.3, 1.0)
+        with pytest.raises(ValueError):
+            tag_moving_scenario(Point3D(0, 0, 0), {"a": Point3D(0, 0, 0)}, (1, 0, 0), -0.3, 1.0)
+
+
+class TestSceneAndCollector:
+    def test_scene_requires_tags(self):
+        trajectory = LinearTrajectory(Point3D(0, 0, 0.3), Point3D(1, 0, 0.3), ConstantSpeedProfile(0.3))
+        scenario = antenna_moving_scenario(trajectory, {})
+        from repro.rfid.tag import TagCollection
+
+        with pytest.raises(ValueError):
+            Scene(tags=TagCollection([]), scenario=scenario)
+
+    def test_collect_sweep_profiles_match_read_log(self, small_row_sweep):
+        _tags, scene, sweep = small_row_sweep
+        rebuilt = profiles_from_read_log(sweep.read_log)
+        for tag_id in sweep.profiles.tag_ids():
+            assert len(rebuilt[tag_id]) == len(sweep.profiles[tag_id])
+
+    def test_standard_scene_geometry(self):
+        tags = make_tags([Point3D(0, 0, 0), Point3D(0.5, 0.1, 0)], seed=0)
+        geometry = SweepGeometry()
+        start, end = geometry.trajectory_endpoints(tags)
+        assert start.z == pytest.approx(geometry.standoff_m)
+        assert start.y < 0.0
+        assert end.x > 0.5
+
+    def test_standard_scenes_reproducible(self):
+        tags = make_tags([Point3D(i * 0.1, 0, 0) for i in range(3)], seed=5)
+        scene_a = standard_antenna_moving_scene(tags, seed=5)
+        scene_b = standard_antenna_moving_scene(tags, seed=5)
+        sweep_a = collect_sweep(scene_a)
+        sweep_b = collect_sweep(scene_b)
+        assert len(sweep_a.read_log) == len(sweep_b.read_log)
+        first_a = sweep_a.read_log.reads[0]
+        first_b = sweep_b.read_log.reads[0]
+        assert first_a.phase_rad == pytest.approx(first_b.phase_rad)
+
+    def test_tag_moving_scene_runs(self, staircase_sweep):
+        tags, _scene, sweep = staircase_sweep
+        assert set(sweep.read_log.tag_ids()) == set(tags.ids())
+
+    def test_clean_channel_has_no_noise(self):
+        channel = clean_channel()
+        rng = np.random.default_rng(0)
+        obs1 = channel.observe(Point3D(0, 0, 0), Point3D(0, 0, 1.0), rng)
+        obs2 = channel.observe(Point3D(0, 0, 0), Point3D(0, 0, 1.0), rng)
+        assert obs1.phase_rad == pytest.approx(obs2.phase_rad)
+
+    def test_indoor_channel_requires_positions(self):
+        with pytest.raises(ValueError):
+            indoor_channel([])

@@ -1,0 +1,240 @@
+"""Unit tests for the phase model, link budget, antenna, multipath, and noise."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.rf.antenna import DirectionalAntenna, ReadingZone
+from repro.rf.channel import BackscatterChannel
+from repro.rf.constants import TWO_PI, channel_wavelength_m
+from repro.rf.geometry import Point3D
+from repro.rf.multipath import (
+    MultipathChannel,
+    Reflector,
+    tag_coupling_scatterers,
+    typical_indoor_reflectors,
+)
+from repro.rf.noise import NOISELESS, NoiseModel
+from repro.rf.phase_model import (
+    DeviceOffsets,
+    phase_distance,
+    quantise_phase,
+    round_trip_phase,
+    wrap_phase,
+)
+from repro.rf.propagation import (
+    LinkBudget,
+    dbm_to_milliwatts,
+    free_space_path_loss_db,
+    milliwatts_to_dbm,
+)
+
+
+class TestPhaseModel:
+    def test_phase_periodic_in_half_wavelength(self):
+        wavelength = channel_wavelength_m(6)
+        theta0 = round_trip_phase(1.0, wavelength)
+        theta1 = round_trip_phase(1.0 + wavelength / 2.0, wavelength)
+        assert phase_distance(theta0, theta1) < 1e-6
+
+    def test_phase_range(self):
+        wavelength = channel_wavelength_m(6)
+        distances = np.linspace(0.1, 5.0, 500)
+        phases = round_trip_phase(distances, wavelength)
+        assert np.all(phases >= 0.0)
+        assert np.all(phases < TWO_PI)
+
+    def test_device_offsets_shift_phase(self):
+        wavelength = channel_wavelength_m(6)
+        offsets = DeviceOffsets(theta_tx=0.5, theta_rx=0.25, theta_tag=0.25)
+        base = round_trip_phase(1.0, wavelength)
+        shifted = round_trip_phase(1.0, wavelength, offsets)
+        assert phase_distance(shifted, wrap_phase(base + 1.0)) < 1e-9
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            round_trip_phase(-0.1, 0.3)
+
+    def test_quantise_phase_resolution(self):
+        theta = 1.234567
+        quantised = quantise_phase(theta, bits=12)
+        assert abs(quantised - theta) <= TWO_PI / (1 << 12)
+
+    def test_quantise_rejects_bad_bits(self):
+        with pytest.raises(ValueError):
+            quantise_phase(1.0, bits=0)
+
+    def test_phase_distance_symmetric_and_bounded(self):
+        assert phase_distance(0.1, TWO_PI - 0.1) == pytest.approx(0.2, abs=1e-9)
+        assert 0 <= phase_distance(3.0, 0.5) <= math.pi
+
+
+class TestLinkBudget:
+    def test_fspl_increases_with_distance(self):
+        assert free_space_path_loss_db(2.0, 920e6) > free_space_path_loss_db(1.0, 920e6)
+
+    def test_dbm_conversions_roundtrip(self):
+        assert milliwatts_to_dbm(dbm_to_milliwatts(13.0)) == pytest.approx(13.0)
+        with pytest.raises(ValueError):
+            milliwatts_to_dbm(0.0)
+
+    def test_rssi_decreases_with_distance(self):
+        budget = LinkBudget()
+        antenna = Point3D(0, 0, 0)
+        near = budget.reverse_power_dbm(antenna, Point3D(0, 0, 0.5), 920e6)
+        far = budget.reverse_power_dbm(antenna, Point3D(0, 0, 2.0), 920e6)
+        assert near > far
+
+    def test_read_range_is_metres_scale(self):
+        budget = LinkBudget()
+        rng = budget.max_read_range_m(920e6, resolution_m=0.05)
+        assert 1.0 < rng < 50.0
+
+    def test_tag_energised_near_not_far(self):
+        budget = LinkBudget()
+        antenna = Point3D(0, 0, 0)
+        assert budget.tag_energised(antenna, Point3D(0, 0, 0.5), 920e6)
+        assert not budget.tag_energised(antenna, Point3D(0, 0, 40.0), 920e6)
+
+
+class TestAntennaAndZone:
+    def test_boresight_gain_is_max(self):
+        antenna = DirectionalAntenna(boresight=(0, 0, 1))
+        origin = Point3D(0, 0, 0)
+        on_axis = antenna.gain_dbi_towards(origin, Point3D(0, 0, 1))
+        off_axis = antenna.gain_dbi_towards(origin, Point3D(1, 0, 1))
+        assert on_axis == pytest.approx(antenna.gain_dbi)
+        assert off_axis < on_axis
+
+    def test_half_power_at_half_beamwidth(self):
+        antenna = DirectionalAntenna(gain_dbi=6.0, beamwidth_deg=70.0, boresight=(0, 0, 1))
+        origin = Point3D(0, 0, 0)
+        angle = math.radians(35.0)
+        target = Point3D(math.sin(angle), 0.0, math.cos(angle))
+        assert antenna.gain_dbi_towards(origin, target) == pytest.approx(3.0, abs=0.2)
+
+    def test_behind_panel_rejected(self):
+        antenna = DirectionalAntenna(boresight=(0, 0, 1))
+        gain = antenna.gain_dbi_towards(Point3D(0, 0, 0), Point3D(0, 0, -1))
+        assert gain <= antenna.gain_dbi - 20.0 + 1e-9
+
+    def test_invalid_beamwidth(self):
+        with pytest.raises(ValueError):
+            DirectionalAntenna(beamwidth_deg=0.0)
+
+    def test_reading_zone_range_limit(self):
+        zone = ReadingZone(max_range_m=1.0, beam_limited=False)
+        assert zone.contains(Point3D(0, 0, 0), Point3D(0, 0, 0.5))
+        assert not zone.contains(Point3D(0, 0, 0), Point3D(0, 0, 1.5))
+
+    def test_reading_zone_beam_limit(self):
+        antenna = DirectionalAntenna(beamwidth_deg=60.0, boresight=(0, 0, 1))
+        zone = ReadingZone(max_range_m=5.0, antenna=antenna, beam_limited=True)
+        assert zone.contains(Point3D(0, 0, 0), Point3D(0, 0, 1.0))
+        assert not zone.contains(Point3D(0, 0, 0), Point3D(5.0, 0, 0.5))
+
+    def test_tags_in_zone_filtering(self):
+        zone = ReadingZone(max_range_m=1.0, beam_limited=False)
+        tags = {"near": Point3D(0, 0, 0.5), "far": Point3D(0, 0, 3.0)}
+        assert zone.tags_in_zone(Point3D(0, 0, 0), tags) == ["near"]
+
+
+class TestMultipath:
+    def test_no_reflectors_identity(self):
+        channel = MultipathChannel()
+        gain = channel.complex_gain(Point3D(0, 0, 0), Point3D(0, 0, 1), 0.326)
+        assert gain == pytest.approx(1.0 + 0.0j)
+        assert channel.amplitude_gain_db(Point3D(0, 0, 0), Point3D(0, 0, 1), 0.326) == pytest.approx(0.0)
+
+    def test_reflector_perturbs_phase(self):
+        channel = MultipathChannel(
+            reflectors=(Reflector(Point3D(0.5, 0.5, 0.5), reflection_coefficient=0.5),)
+        )
+        perturbation = channel.phase_perturbation_rad(Point3D(0, 0, 0), Point3D(0, 0, 1), 0.326)
+        assert perturbation != 0.0
+        assert -math.pi <= perturbation <= math.pi
+
+    def test_reflection_coefficient_validated(self):
+        with pytest.raises(ValueError):
+            Reflector(Point3D(0, 0, 0), reflection_coefficient=1.5)
+
+    def test_scatterer_attenuation_decays(self):
+        scatterer = Reflector(Point3D(0, 0, 0), reflection_coefficient=0.5, scattering_decay_m=0.02)
+        near = scatterer.scattering_attenuation(Point3D(0.02, 0, 0))
+        far = scatterer.scattering_attenuation(Point3D(0.10, 0, 0))
+        assert near == pytest.approx(1.0)
+        assert far < 0.1
+
+    def test_tag_coupling_scatterers_one_per_tag(self):
+        positions = [Point3D(i * 0.05, 0, 0) for i in range(4)]
+        scatterers = tag_coupling_scatterers(positions)
+        assert len(scatterers) == 4
+
+    def test_typical_indoor_reflectors_outside_region(self):
+        rng = np.random.default_rng(0)
+        reflectors = typical_indoor_reflectors(
+            Point3D(0, 0, 0), Point3D(1, 1, 0), count=5, rng=rng
+        )
+        assert len(reflectors) == 5
+        for reflector in reflectors:
+            assert 0.0 < reflector.reflection_coefficient <= 1.0
+
+
+class TestNoise:
+    def test_noiseless_is_identity(self):
+        rng = np.random.default_rng(0)
+        assert NOISELESS.noisy_phase(1.0, rng) == pytest.approx(1.0)
+        assert NOISELESS.noisy_rssi(-60.0, rng) == pytest.approx(-60.0)
+        assert not NOISELESS.read_dropped(-100.0, rng)
+
+    def test_noisy_phase_stays_wrapped(self):
+        model = NoiseModel(phase_noise_std_rad=0.5)
+        rng = np.random.default_rng(1)
+        for _ in range(200):
+            value = model.noisy_phase(0.01, rng)
+            assert 0.0 <= value < TWO_PI
+
+    def test_fade_dropout(self):
+        model = NoiseModel(random_dropout_probability=0.0, fade_dropout_threshold_db=-10.0)
+        rng = np.random.default_rng(2)
+        assert model.read_dropped(-15.0, rng)
+        assert not model.read_dropped(-5.0, rng)
+
+    def test_random_dropout_rate(self):
+        model = NoiseModel(random_dropout_probability=0.3, fade_dropout_threshold_db=-100.0)
+        rng = np.random.default_rng(3)
+        drops = sum(model.read_dropped(0.0, rng) for _ in range(2000))
+        assert 0.25 < drops / 2000 < 0.35
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            NoiseModel(phase_noise_std_rad=-1.0)
+        with pytest.raises(ValueError):
+            NoiseModel(random_dropout_probability=1.5)
+
+
+class TestBackscatterChannel:
+    def test_ideal_phase_matches_model(self):
+        channel = BackscatterChannel(quantise=False, noise=NOISELESS)
+        antenna = Point3D(0, 0, 0)
+        tag = Point3D(0, 0, 1.0)
+        expected = round_trip_phase(1.0, channel.wavelength_m, channel.device_offsets)
+        assert channel.ideal_phase(antenna, tag) == pytest.approx(expected)
+
+    def test_observation_fields(self):
+        channel = BackscatterChannel(noise=NOISELESS)
+        obs = channel.observe(Point3D(0, 0, 0), Point3D(0, 0, 1.0), np.random.default_rng(0))
+        assert obs.readable
+        assert 0 <= obs.phase_rad < TWO_PI
+        assert obs.true_distance_m == pytest.approx(1.0)
+
+    def test_extra_reflectors_change_observation(self):
+        channel = BackscatterChannel(noise=NOISELESS, quantise=False)
+        rng = np.random.default_rng(0)
+        plain = channel.observe(Point3D(0, 0, 0), Point3D(0, 0, 1.0), rng)
+        extra = (Reflector(Point3D(0.2, 0.0, 0.5), reflection_coefficient=0.6),)
+        perturbed = channel.observe(
+            Point3D(0, 0, 0), Point3D(0, 0, 1.0), rng, extra_reflectors=extra
+        )
+        assert perturbed.phase_rad != pytest.approx(plain.phase_rad)
