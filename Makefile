@@ -1,0 +1,36 @@
+# Developer / CI entry points for the STPP reproduction.
+#
+#   make test         tier-1 suite: unit + property + integration tests AND the
+#                     benchmark suite at its reduced default scale
+#   make unit         just the fast unit tests (tests/)
+#   make bench-smoke  run every benchmark once at tiny sizes (smoke check that
+#                     each figure/table regenerator still executes end to end)
+#   make bench-dtw    time the DTW kernels (python-loop vs vectorized vs
+#                     batched) and write BENCH_dtw.json
+#   make examples     run the runnable examples
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
+
+.PHONY: test unit bench-smoke bench-dtw examples
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+unit:
+	$(PYTHON) -m pytest tests -x -q
+
+# Each benchmark file regenerates one paper figure/table; pytest-benchmark's
+# pedantic mode already pins them to a single round, so a plain run of the
+# benchmarks directory is the smoke pass.
+bench-smoke:
+	$(PYTHON) -m pytest benchmarks -x -q
+
+bench-dtw:
+	$(PYTHON) benchmarks/bench_dtw.py
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/library_misplaced_books.py
+	$(PYTHON) examples/airport_baggage_tracking.py
+	$(PYTHON) examples/scheme_comparison.py

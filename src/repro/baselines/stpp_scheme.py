@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..core.localizer import STPPConfig, STPPLocalizer
+from ..core.localizer import BatchLocalizer, STPPConfig
 from ..rfid.reading import ReadLog
 from ..simulation.collector import profiles_from_read_log
 from .base import OrderingScheme, SchemeResult
@@ -17,13 +17,17 @@ from .base import OrderingScheme, SchemeResult
 
 @dataclass
 class STPPScheme(OrderingScheme):
-    """The paper's scheme, exposed through the baseline interface."""
+    """The paper's scheme, exposed through the baseline interface.
+
+    Backed by the batched localization engine, so one ``order`` call aligns
+    every expected tag against the shared reference in a single DTW pass.
+    """
 
     config: STPPConfig = field(default_factory=STPPConfig)
     name: str = "STPP"
 
     def __post_init__(self) -> None:
-        self._localizer = STPPLocalizer(self.config)
+        self._localizer = BatchLocalizer(self.config)
 
     def order(self, read_log: ReadLog, expected_tag_ids: list[str]) -> SchemeResult:
         profiles = profiles_from_read_log(read_log)

@@ -5,9 +5,19 @@ repository exists to feed it realistic phase profiles (the simulation
 substrates) or to compare it against prior schemes (the baselines).
 """
 
-from .dtw import DTWResult, dtw_align, segmented_dtw_align, subsequence_dtw, warp_query_to_reference
+from .dtw import (
+    DTWResult,
+    accumulate_cost,
+    accumulate_cost_batch,
+    dtw_align,
+    segmented_dtw_align,
+    segmented_dtw_align_batch,
+    subsequence_dtw,
+    subsequence_dtw_batch,
+    warp_query_to_reference,
+)
 from .fitting import QuadraticFit, fit_vzone, fit_vzone_profile
-from .localizer import STPPConfig, STPPLocalizer
+from .localizer import BatchLocalizer, STPPConfig, STPPLocalizer
 from .ordering_x import bottom_time_gaps, order_tags_x
 from .ordering_y import (
     VALUE_MODES,
@@ -25,6 +35,7 @@ from .reference import (
     ReferenceProfile,
     canonical_reference,
     reference_profile,
+    shared_canonical_reference,
 )
 from .result import AxisOrdering, LocalizationResult
 from .segmentation import (
@@ -39,6 +50,7 @@ from .vzone import DETECTION_METHODS, VZone, VZoneDetector
 
 __all__ = [
     "AxisOrdering",
+    "BatchLocalizer",
     "CoarseRepresentation",
     "DEFAULT_REFERENCE_PERIODS",
     "DETECTION_METHODS",
@@ -55,6 +67,8 @@ __all__ = [
     "VZone",
     "VZoneDetector",
     "YOrderingConfig",
+    "accumulate_cost",
+    "accumulate_cost_batch",
     "bottom_time_gaps",
     "build_representations",
     "canonical_reference",
@@ -72,7 +86,10 @@ __all__ = [
     "segment_profile",
     "segment_range_distance",
     "segmented_dtw_align",
+    "segmented_dtw_align_batch",
+    "shared_canonical_reference",
     "signed_gap",
     "subsequence_dtw",
+    "subsequence_dtw_batch",
     "warp_query_to_reference",
 ]

@@ -1,4 +1,4 @@
-"""Dynamic Time Warping: classic, subsequence, and segmented variants.
+"""Dynamic Time Warping: classic, subsequence, segmented, and batched variants.
 
 STPP matches a *reference* phase profile (computed from nominal geometry)
 against the *measured* profile of each tag to locate the V-zone (paper
@@ -15,6 +15,13 @@ Two alignment modes are provided:
   free, i.e. it finds the measured subrange that best matches the whole
   reference.  This is the mode V-zone detection uses, because a measured
   profile usually contains more periods than the 4-period reference.
+
+All variants share one accumulated-cost kernel, :func:`accumulate_cost`,
+which evaluates the DTW recurrence along anti-diagonals so NumPy can process
+a whole diagonal per step instead of one cell per step.  The batched kernel
+:func:`accumulate_cost_batch` stacks many (padded) distance matrices and runs
+the same diagonal sweep across all of them at once; this is what lets the
+localization engine align every tag of a sweep in one pass.
 """
 
 from __future__ import annotations
@@ -25,9 +32,24 @@ import numpy as np
 
 from .segmentation import (
     Segment,
+    duration_weight_matrix,
+    range_gap_matrix,
+    segment_bounds,
     segment_distance_matrix,
+    segment_durations,
     segment_duration_weights,
 )
+
+MAX_BATCH_CELLS = 250_000
+"""Padded-cell budget per batched accumulation chunk.
+
+The anti-diagonal sweep traverses the whole chunk once per diagonal, so the
+chunk must stay cache-resident: 250k float64 cells is ~2 MB, which keeps the
+sweep in L2/L3 on typical hardware.  Larger chunks amortise more per-call
+overhead but start thrashing the cache (measured: a 12×380×600 stack is ~2×
+slower at an 8M budget than at 250k), so this is a throughput knob, not a
+correctness one — results are identical at any setting.
+"""
 
 
 @dataclass(frozen=True, slots=True)
@@ -49,14 +71,35 @@ class DTWResult:
     def query_indices_for_reference_range(self, ref_start: int, ref_end: int) -> tuple[int, int]:
         """Query index range matched to reference indices ``[ref_start, ref_end]``.
 
-        Returns an inclusive ``(start, end)`` pair.  Raises ``ValueError`` when
-        the reference range is not touched by the path (cannot happen for a
-        valid path and a range inside the reference).
+        The range is **inclusive on both ends**: a path pair ``(r, q)``
+        contributes its query index ``q`` whenever ``ref_start <= r <= ref_end``.
+        The returned ``(start, end)`` pair is likewise inclusive — ``end`` is
+        the last matched query index, not one past it.
+
+        Raises
+        ------
+        ValueError
+            If ``ref_start > ref_end``, if either bound is negative, or if the
+            warping path does not touch any reference index in the range (for
+            a valid path this only happens when the range lies outside the
+            reference rows the path covers).
         """
+        if ref_start < 0 or ref_end < 0:
+            raise ValueError(
+                f"reference indices must be non-negative, got [{ref_start}, {ref_end}]"
+            )
+        if ref_start > ref_end:
+            raise ValueError(
+                f"reference range is inverted: start {ref_start} > end {ref_end}"
+            )
         matched = [q for r, q in self.path if ref_start <= r <= ref_end]
         if not matched:
+            covered_lo = min(r for r, _ in self.path)
+            covered_hi = max(r for r, _ in self.path)
             raise ValueError(
-                f"reference range [{ref_start}, {ref_end}] not covered by warping path"
+                f"reference range [{ref_start}, {ref_end}] not covered by the "
+                f"warping path (path covers reference rows "
+                f"[{covered_lo}, {covered_hi}])"
             )
         return min(matched), max(matched)
 
@@ -67,7 +110,9 @@ def _backtrack(
     """Backtrack the optimal path through an accumulated cost matrix.
 
     ``start_col`` selects the ending column (used by subsequence DTW); when
-    None the path ends at the bottom-right corner.
+    None the path ends at the bottom-right corner.  Degenerate matrices are
+    handled naturally: a 1×N matrix yields a purely horizontal path (or a
+    single cell under a free start) and an N×1 matrix a purely vertical one.
     """
     rows, cols = cost.shape
     i = rows - 1
@@ -92,12 +137,17 @@ def _backtrack(
     return tuple(path)
 
 
-def _accumulate(
+def _accumulate_python(
     distance: np.ndarray,
-    weights: np.ndarray | None,
-    free_query_start: bool,
+    weights: np.ndarray | None = None,
+    free_query_start: bool = False,
 ) -> np.ndarray:
-    """Build the accumulated cost matrix for (optionally weighted) DTW."""
+    """The seed repository's pure-Python DTW accumulation (double loop).
+
+    Kept as the reference implementation: the equivalence tests assert that
+    :func:`accumulate_cost` reproduces it bit for bit, and
+    ``benchmarks/bench_dtw.py`` uses it as the before-optimisation baseline.
+    """
     rows, cols = distance.shape
     if weights is None:
         weighted = distance
@@ -120,25 +170,212 @@ def _accumulate(
     return cost
 
 
+def _accumulate_stack(stack: np.ndarray, free_query_start: bool) -> np.ndarray:
+    """Run the DTW recurrence over a ``(rows, cols, batch)`` weighted stack.
+
+    The recurrence's row-major data dependency is broken by sweeping
+    anti-diagonals: every cell on diagonal ``d = i + j`` depends only on
+    diagonals ``d-1`` and ``d-2``, so a whole diagonal (across the whole
+    batch) is one NumPy step.  With the batch axis innermost, flattening the
+    cell axes makes an anti-diagonal a plain strided slice of ``cols - 1``
+    rows apart (``flat(i, d - i) = d + i * (cols - 1)``), each row a
+    contiguous run of batch lanes — no index arrays, no copies, and the inner
+    ufunc loops stream over contiguous memory.
+
+    Cell values match :func:`_accumulate_python` bit for bit: the first
+    row/column use ``np.add.accumulate`` (a strictly sequential sum, like the
+    seed loop) and interior cells add the same operands in the same order.
+    """
+    rows, cols, batch = stack.shape
+    cost = np.empty_like(stack)
+    if free_query_start:
+        cost[0] = stack[0]
+    else:
+        cost[0] = np.add.accumulate(stack[0], axis=0)
+    # First column: cost[i, 0] = cost[i-1, 0] + w[i, 0]; cost[0, 0] = w[0, 0]
+    # in both modes, so the running sum covers it.
+    cost[:, 0] = np.add.accumulate(stack[:, 0], axis=0)
+    if rows == 1 or cols == 1:
+        return cost
+
+    flat_cost = cost.reshape(rows * cols, batch)
+    flat_weighted = stack.reshape(rows * cols, batch)
+    step = cols - 1
+    for d in range(2, rows + cols - 1):
+        i_lo = max(1, d - cols + 1)
+        i_hi = min(rows - 1, d - 1)
+        if i_lo > i_hi:
+            continue
+        start = d + i_lo * step
+        stop = d + i_hi * step + 1
+        current = slice(start, stop, step)
+        left = slice(start - 1, stop - 1, step)              # (i,   j-1)
+        up = slice(start - 1 - step, stop - 1 - step, step)  # (i-1, j)
+        diag = slice(start - 2 - step, stop - 2 - step, step)  # (i-1, j-1)
+        best = np.minimum(
+            np.minimum(flat_cost[diag], flat_cost[up]), flat_cost[left]
+        )
+        flat_cost[current] = flat_weighted[current] + best
+    return cost
+
+
+def _weighted_matrix(distance: np.ndarray, weights: np.ndarray | None) -> np.ndarray:
+    weighted = distance if weights is None else distance * weights
+    return np.ascontiguousarray(weighted, dtype=float)
+
+
+def accumulate_cost(
+    distance: np.ndarray,
+    weights: np.ndarray | None = None,
+    free_query_start: bool = False,
+) -> np.ndarray:
+    """Accumulated cost matrix for (optionally weighted) DTW, vectorized.
+
+    The single shared kernel behind :func:`dtw_align`,
+    :func:`subsequence_dtw`, and :func:`segmented_dtw_align`.  Produces the
+    same matrix as the seed's pure-Python double loop
+    (:func:`_accumulate_python`), evaluated along anti-diagonals.
+    """
+    weighted = _weighted_matrix(distance, weights)
+    return _accumulate_stack(weighted[:, :, None], free_query_start)[:, :, 0]
+
+
+def _plan_chunks(
+    shapes: list[tuple[int, int]], max_cells: int
+) -> list[list[int]]:
+    """Group matrix indices into padded chunks of at most ``max_cells`` cells.
+
+    Indices are sorted by shape first so similarly sized matrices share a
+    chunk and padding waste stays low.
+    """
+    order = sorted(range(len(shapes)), key=lambda k: shapes[k])
+    chunks: list[list[int]] = []
+    chunk: list[int] = []
+    chunk_rows = chunk_cols = 0
+    for k in order:
+        rows, cols = shapes[k]
+        new_rows, new_cols = max(chunk_rows, rows), max(chunk_cols, cols)
+        if chunk and (len(chunk) + 1) * new_rows * new_cols > max_cells:
+            chunks.append(chunk)
+            chunk = []
+            new_rows, new_cols = rows, cols
+        chunk.append(k)
+        chunk_rows, chunk_cols = new_rows, new_cols
+    if chunk:
+        chunks.append(chunk)
+    return chunks
+
+
+def _accumulate_chunk(
+    chunk: list[int],
+    shapes: list[tuple[int, int]],
+    make_weighted,
+    free_query_start: bool,
+) -> np.ndarray:
+    """Stack one chunk's weighted matrices (zero-padded) and accumulate it.
+
+    Padding cannot leak into a matrix's own cells because the DTW recurrence
+    only ever reads up/left/up-left neighbours, which all lie inside the
+    unpadded region.
+    """
+    rows = max(shapes[k][0] for k in chunk)
+    cols = max(shapes[k][1] for k in chunk)
+    stack = np.zeros((rows, cols, len(chunk)), dtype=float)
+    for slot, k in enumerate(chunk):
+        r, c = shapes[k]
+        stack[:r, :c, slot] = make_weighted(k)
+    return _accumulate_stack(stack, free_query_start)
+
+
+def accumulate_cost_batch(
+    weighted: list[np.ndarray],
+    free_query_start: bool = False,
+    max_cells: int = MAX_BATCH_CELLS,
+) -> list[np.ndarray]:
+    """Accumulate many weighted distance matrices in batched diagonal sweeps.
+
+    Matrices of different shapes are zero-padded to a common shape and swept
+    together, at most ``max_cells`` padded cells per chunk (a cache-residency
+    knob, see :data:`MAX_BATCH_CELLS`).  Returns the accumulated cost matrix
+    of each input, in input order, each identical to what
+    :func:`accumulate_cost` would produce on its own.
+
+    Note that the *returned* matrices dominate memory here — all of them are
+    materialised.  The batch aligners (:func:`subsequence_dtw_batch`,
+    :func:`segmented_dtw_align_batch`) avoid that by backtracking each chunk
+    as soon as it is accumulated and discarding its cost matrices.
+    """
+    shapes = [m.shape for m in weighted]
+    results: list[np.ndarray | None] = [None] * len(weighted)
+    for chunk in _plan_chunks(shapes, max_cells):
+        cost = _accumulate_chunk(
+            chunk, shapes, lambda k: weighted[k], free_query_start
+        )
+        for slot, k in enumerate(chunk):
+            r, c = shapes[k]
+            results[k] = np.ascontiguousarray(cost[:r, :c, slot])
+    return results  # type: ignore[return-value]
+
+
+def _backtracked_batch(
+    shapes: list[tuple[int, int]],
+    make_weighted,
+    free_query_start: bool,
+    subsequence: bool,
+    max_cells: int = MAX_BATCH_CELLS,
+) -> list[DTWResult]:
+    """Accumulate-and-backtrack many alignments, one padded chunk at a time.
+
+    ``make_weighted(k)`` builds the weighted distance matrix of item ``k`` on
+    demand, so peak memory is one chunk's stack plus the (tiny) results —
+    independent of fleet size.
+    """
+    results: list[DTWResult | None] = [None] * len(shapes)
+    for chunk in _plan_chunks(shapes, max_cells):
+        cost = _accumulate_chunk(chunk, shapes, make_weighted, free_query_start)
+        for slot, k in enumerate(chunk):
+            r, c = shapes[k]
+            results[k] = _result_from_cost(
+                np.ascontiguousarray(cost[:r, :c, slot]), subsequence
+            )
+    return results  # type: ignore[return-value]
+
+
+def _result_from_cost(cost: np.ndarray, subsequence: bool) -> DTWResult:
+    """Backtrack ``cost`` and package the alignment as a :class:`DTWResult`."""
+    if subsequence:
+        end_col = int(np.argmin(cost[-1]))
+        path = _backtrack(cost, start_col=end_col)
+        total = float(cost[-1, end_col])
+    else:
+        path = _backtrack(cost)
+        total = float(cost[-1, -1])
+    return DTWResult(
+        cost=total,
+        path=path,
+        query_start=path[0][1],
+        query_end=path[-1][1],
+    )
+
+
+def _as_nonempty_sequence(values: np.ndarray, label: str) -> np.ndarray:
+    array = np.asarray(values, dtype=float)
+    if array.size == 0:
+        raise ValueError(f"{label} sequence must be non-empty")
+    return array
+
+
 def dtw_align(reference: np.ndarray, query: np.ndarray) -> DTWResult:
     """Full DTW alignment of two 1-D value sequences (paper §3.1.1).
 
     The element distance is the absolute difference of values, matching the
     Euclidean distance the paper uses on scalar phase samples.
     """
-    reference = np.asarray(reference, dtype=float)
-    query = np.asarray(query, dtype=float)
-    if reference.size == 0 or query.size == 0:
-        raise ValueError("both sequences must be non-empty")
+    reference = _as_nonempty_sequence(reference, "reference")
+    query = _as_nonempty_sequence(query, "query")
     distance = np.abs(reference[:, None] - query[None, :])
-    cost = _accumulate(distance, weights=None, free_query_start=False)
-    path = _backtrack(cost)
-    return DTWResult(
-        cost=float(cost[-1, -1]),
-        path=path,
-        query_start=path[0][1],
-        query_end=path[-1][1],
-    )
+    cost = accumulate_cost(distance, weights=None, free_query_start=False)
+    return _result_from_cost(cost, subsequence=False)
 
 
 def subsequence_dtw(reference: np.ndarray, query: np.ndarray) -> DTWResult:
@@ -147,19 +384,31 @@ def subsequence_dtw(reference: np.ndarray, query: np.ndarray) -> DTWResult:
     The query start and end are left free (classic subsequence DTW): the
     returned ``query_start``/``query_end`` delimit the matched subrange.
     """
-    reference = np.asarray(reference, dtype=float)
-    query = np.asarray(query, dtype=float)
-    if reference.size == 0 or query.size == 0:
-        raise ValueError("both sequences must be non-empty")
+    reference = _as_nonempty_sequence(reference, "reference")
+    query = _as_nonempty_sequence(query, "query")
     distance = np.abs(reference[:, None] - query[None, :])
-    cost = _accumulate(distance, weights=None, free_query_start=True)
-    end_col = int(np.argmin(cost[-1]))
-    path = _backtrack(cost, start_col=end_col)
-    return DTWResult(
-        cost=float(cost[-1, end_col]),
-        path=path,
-        query_start=path[0][1],
-        query_end=path[-1][1],
+    cost = accumulate_cost(distance, weights=None, free_query_start=True)
+    return _result_from_cost(cost, subsequence=True)
+
+
+def subsequence_dtw_batch(
+    reference: np.ndarray, queries: list[np.ndarray]
+) -> list[DTWResult]:
+    """Subsequence-align one reference against many queries in one batch.
+
+    Equivalent to ``[subsequence_dtw(reference, q) for q in queries]`` but the
+    accumulation sweeps whole chunks of cost matrices at once, building each
+    chunk's distance matrices on demand and discarding them after
+    backtracking.
+    """
+    reference = _as_nonempty_sequence(reference, "reference")
+    cleaned = [_as_nonempty_sequence(query, "query") for query in queries]
+    shapes = [(reference.size, query.size) for query in cleaned]
+    return _backtracked_batch(
+        shapes,
+        lambda k: np.abs(reference[:, None] - cleaned[k][None, :]),
+        free_query_start=True,
+        subsequence=True,
     )
 
 
@@ -180,19 +429,45 @@ def segmented_dtw_align(
         raise ValueError("both segmentations must be non-empty")
     distance = segment_distance_matrix(reference_segments, query_segments)
     weights = segment_duration_weights(reference_segments, query_segments)
-    cost = _accumulate(distance, weights=weights, free_query_start=subsequence)
-    if subsequence:
-        end_col = int(np.argmin(cost[-1]))
-        path = _backtrack(cost, start_col=end_col)
-        total = float(cost[-1, end_col])
-    else:
-        path = _backtrack(cost)
-        total = float(cost[-1, -1])
-    return DTWResult(
-        cost=total,
-        path=path,
-        query_start=path[0][1],
-        query_end=path[-1][1],
+    cost = accumulate_cost(distance, weights=weights, free_query_start=subsequence)
+    return _result_from_cost(cost, subsequence=subsequence)
+
+
+def segmented_dtw_align_batch(
+    reference_segments: list[Segment],
+    query_segmentations: list[list[Segment]],
+    subsequence: bool = True,
+) -> list[DTWResult]:
+    """Segmented DTW of one reference segmentation against many queries.
+
+    The reference's bounds and durations are extracted once and reused across
+    every query's distance/weight matrices, and the accumulations sweep whole
+    padded chunks at a time (each chunk's matrices are built on demand and
+    freed after backtracking).  Results are identical (costs and paths) to
+    calling :func:`segmented_dtw_align` per query.
+    """
+    if not reference_segments:
+        raise ValueError("reference segmentation must be non-empty")
+    if any(not query_segments for query_segments in query_segmentations):
+        raise ValueError("query segmentations must be non-empty")
+    ref_min, ref_max = segment_bounds(reference_segments)
+    ref_durations = segment_durations(reference_segments)
+    query_arrays = [
+        (segment_bounds(query_segments), segment_durations(query_segments))
+        for query_segments in query_segmentations
+    ]
+    shapes = [
+        (len(reference_segments), len(query_segments))
+        for query_segments in query_segmentations
+    ]
+
+    def make_weighted(k: int) -> np.ndarray:
+        (q_min, q_max), q_durations = query_arrays[k]
+        distance = range_gap_matrix(ref_min, ref_max, q_min, q_max)
+        return distance * duration_weight_matrix(ref_durations, q_durations)
+
+    return _backtracked_batch(
+        shapes, make_weighted, free_query_start=subsequence, subsequence=subsequence
     )
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
@@ -200,3 +201,53 @@ def canonical_reference(
         vzone_end_index=reference.vzone_end_index,
         perpendicular_distance_m=perpendicular_distance_m,
     )
+
+
+@lru_cache(maxsize=64)
+def _cached_canonical_reference(
+    perpendicular_distance_m: float,
+    speed_mps: float,
+    periods: int,
+    sample_rate_hz: float,
+    wavelength_m: float | None,
+    bottom_phase_rad: float,
+) -> ReferenceProfile:
+    return canonical_reference(
+        perpendicular_distance_m=perpendicular_distance_m,
+        speed_mps=speed_mps,
+        periods=periods,
+        sample_rate_hz=sample_rate_hz,
+        wavelength_m=wavelength_m,
+        bottom_phase_rad=bottom_phase_rad,
+    )
+
+
+def shared_canonical_reference(
+    perpendicular_distance_m: float = 0.35,
+    speed_mps: float = 0.3,
+    periods: int = DEFAULT_REFERENCE_PERIODS,
+    sample_rate_hz: float = DEFAULT_REFERENCE_SAMPLE_RATE_HZ,
+    wavelength_m: float | None = None,
+    bottom_phase_rad: float = 0.5,
+) -> ReferenceProfile:
+    """A process-wide cached :func:`canonical_reference`.
+
+    Reference generation is deterministic, so localizers with the same
+    configuration can share one immutable :class:`ReferenceProfile` instead of
+    regenerating it (and re-deriving its segmentation) per instance.  This is
+    what lets a fleet of :class:`~repro.core.localizer.BatchLocalizer` calls —
+    e.g. one per conveyor batch — pay the reference construction cost once.
+    """
+    return _cached_canonical_reference(
+        float(perpendicular_distance_m),
+        float(speed_mps),
+        int(periods),
+        float(sample_rate_hz),
+        None if wavelength_m is None else float(wavelength_m),
+        float(bottom_phase_rad),
+    )
+
+
+def clear_reference_cache() -> None:
+    """Drop all cached reference profiles (mainly for tests)."""
+    _cached_canonical_reference.cache_clear()

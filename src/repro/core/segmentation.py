@@ -139,20 +139,59 @@ def segment_range_distance(a: Segment, b: Segment) -> float:
     return 0.0
 
 
+def segment_bounds(segments: list[Segment]) -> tuple[np.ndarray, np.ndarray]:
+    """The ``(min_phase, max_phase)`` arrays of a segmentation.
+
+    Extracted once per segmentation so the batched DTW engine can build many
+    distance matrices against a shared reference without re-reading the
+    segment objects each time.
+    """
+    mins = np.array([seg.min_phase_rad for seg in segments], dtype=float)
+    maxs = np.array([seg.max_phase_rad for seg in segments], dtype=float)
+    return mins, maxs
+
+
+def segment_durations(segments: list[Segment]) -> np.ndarray:
+    """Per-segment durations clamped away from zero (for duration weights)."""
+    return np.array([max(seg.duration_s, 1e-6) for seg in segments], dtype=float)
+
+
+def range_gap_matrix(
+    left_min: np.ndarray,
+    left_max: np.ndarray,
+    right_min: np.ndarray,
+    right_max: np.ndarray,
+) -> np.ndarray:
+    """Pairwise range-gap distances (the paper's ``D_{i,j}``), vectorized.
+
+    Zero where the two phase ranges overlap, otherwise the distance between
+    the closest points of the ranges — identical to applying
+    :func:`segment_range_distance` to every pair.
+    """
+    gap = np.maximum(
+        left_min[:, None] - right_max[None, :],
+        right_min[None, :] - left_max[:, None],
+    )
+    return np.maximum(gap, 0.0)
+
+
+def duration_weight_matrix(
+    left_durations: np.ndarray, right_durations: np.ndarray
+) -> np.ndarray:
+    """Pairwise ``min(s^T_P,i, s^T_Q,j)`` weights from per-side duration arrays."""
+    return np.minimum(left_durations[:, None], right_durations[None, :])
+
+
 def segment_distance_matrix(left: list[Segment], right: list[Segment]) -> np.ndarray:
     """Matrix of :func:`segment_range_distance` values between two segmentations."""
-    matrix = np.zeros((len(left), len(right)), dtype=float)
-    for i, seg_a in enumerate(left):
-        for j, seg_b in enumerate(right):
-            matrix[i, j] = segment_range_distance(seg_a, seg_b)
-    return matrix
+    left_min, left_max = segment_bounds(left)
+    right_min, right_max = segment_bounds(right)
+    return range_gap_matrix(left_min, left_max, right_min, right_max)
 
 
 def segment_duration_weights(left: list[Segment], right: list[Segment]) -> np.ndarray:
     """Matrix of ``min(s^T_P,i, s^T_Q,j)`` weights used in the segmented DTW cost."""
-    left_durations = np.array([max(seg.duration_s, 1e-6) for seg in left], dtype=float)
-    right_durations = np.array([max(seg.duration_s, 1e-6) for seg in right], dtype=float)
-    return np.minimum(left_durations[:, None], right_durations[None, :])
+    return duration_weight_matrix(segment_durations(left), segment_durations(right))
 
 
 @dataclass(frozen=True, slots=True)

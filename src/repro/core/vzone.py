@@ -30,10 +30,16 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..rf.constants import TWO_PI
-from .dtw import segmented_dtw_align, subsequence_dtw
+from .dtw import (
+    DTWResult,
+    segmented_dtw_align,
+    segmented_dtw_align_batch,
+    subsequence_dtw,
+    subsequence_dtw_batch,
+)
 from .fitting import QuadraticFit, fit_vzone
 from .phase_profile import PhaseProfile
-from .reference import ReferenceProfile, canonical_reference
+from .reference import ReferenceProfile, shared_canonical_reference
 from .segmentation import Segment, segment_profile
 
 DETECTION_METHODS = ("segmented_dtw", "full_dtw", "longest_run")
@@ -98,7 +104,7 @@ class VZoneDetector:
         granularity at the window edges.
     """
 
-    reference: ReferenceProfile = field(default_factory=canonical_reference)
+    reference: ReferenceProfile = field(default_factory=shared_canonical_reference)
     window_size: int = 5
     method: str = "segmented_dtw"
     min_profile_samples: int = 12
@@ -154,12 +160,59 @@ class VZoneDetector:
             return primary
         return secondary
 
-    def detect_all(self, profiles: "dict[str, PhaseProfile] | list[PhaseProfile]") -> dict[str, VZone]:
-        """Detect V-zones for many profiles; tags without a detection are omitted."""
-        items = profiles.values() if isinstance(profiles, dict) else profiles
+    def detect_all(
+        self,
+        profiles: "dict[str, PhaseProfile] | list[PhaseProfile]",
+        batched: bool = True,
+    ) -> dict[str, VZone]:
+        """Detect V-zones for many profiles; tags without a detection are omitted.
+
+        With ``batched=True`` (the default) the DTW strategies align every
+        usable profile against the reference in one batched accumulation
+        (:func:`~repro.core.dtw.accumulate_cost_batch`) instead of running a
+        per-tag Python loop.  The detections are identical to the sequential
+        path — the batched kernel is bit-exact — so this is purely a
+        throughput optimisation.
+        """
+        items = list(profiles.values()) if isinstance(profiles, dict) else list(profiles)
+        if batched and self.method != "longest_run" and len(items) > 1:
+            return self._detect_all_batched(items)
         detections: dict[str, VZone] = {}
         for profile in items:
             vzone = self.detect(profile)
+            if vzone is not None:
+                detections[profile.tag_id] = vzone
+        return detections
+
+    def _detect_all_batched(self, items: "list[PhaseProfile]") -> dict[str, VZone]:
+        """Batched DTW detection over every usable profile at once."""
+        usable = [p for p in items if len(p) >= self.min_profile_samples]
+        primaries: dict[int, VZone | None] = {}
+        if self.method == "segmented_dtw":
+            segmentations = [segment_profile(p, self.window_size) for p in usable]
+            indices = [k for k, segs in enumerate(segmentations) if segs]
+            if indices:
+                results = segmented_dtw_align_batch(
+                    self._reference_segmentation(),
+                    [segmentations[k] for k in indices],
+                    subsequence=True,
+                )
+                for k, result in zip(indices, results):
+                    primaries[k] = self._vzone_from_segmented(
+                        usable[k], segmentations[k], result
+                    )
+        else:  # full_dtw
+            results = subsequence_dtw_batch(
+                self.reference.profile.phases_rad, [p.phases_rad for p in usable]
+            )
+            for k, result in enumerate(results):
+                primaries[k] = self._vzone_from_full(usable[k], result)
+
+        detections: dict[str, VZone] = {}
+        for k, profile in enumerate(usable):
+            vzone = primaries.get(k)
+            if self.fallback_to_longest_run:
+                vzone = self._better_of(vzone, self._detect_longest_run(profile))
             if vzone is not None:
                 detections[profile.tag_id] = vzone
         return detections
@@ -190,8 +243,19 @@ class VZoneDetector:
         measured_segments = segment_profile(profile, self.window_size)
         if not measured_segments:
             return None
+        result = segmented_dtw_align(
+            self._reference_segmentation(), measured_segments, subsequence=True
+        )
+        return self._vzone_from_segmented(profile, measured_segments, result)
+
+    def _vzone_from_segmented(
+        self,
+        profile: PhaseProfile,
+        measured_segments: list[Segment],
+        result: DTWResult,
+    ) -> VZone | None:
+        """Turn a segmented-DTW alignment into a V-zone window."""
         reference_segments = self._reference_segmentation()
-        result = segmented_dtw_align(reference_segments, measured_segments, subsequence=True)
         ref_vz_start, ref_vz_end = self._reference_vzone_segment_range(reference_segments)
         try:
             q_start_seg, q_end_seg = result.query_indices_for_reference_range(
@@ -205,6 +269,10 @@ class VZoneDetector:
 
     def _detect_full_dtw(self, profile: PhaseProfile) -> VZone | None:
         result = subsequence_dtw(self.reference.profile.phases_rad, profile.phases_rad)
+        return self._vzone_from_full(profile, result)
+
+    def _vzone_from_full(self, profile: PhaseProfile, result: DTWResult) -> VZone | None:
+        """Turn a raw-sample alignment into a V-zone window."""
         try:
             q_start, q_end = result.query_indices_for_reference_range(
                 self.reference.vzone_start_index,

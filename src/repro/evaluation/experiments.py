@@ -25,7 +25,7 @@ from ..baselines import (
 )
 from ..core.dtw import segmented_dtw_align, subsequence_dtw
 from ..core.fitting import fit_vzone_profile
-from ..core.localizer import STPPConfig, STPPLocalizer
+from ..core.localizer import BatchLocalizer, STPPConfig
 from ..core.reference import canonical_reference, reference_profile
 from ..core.segmentation import segment_profile
 from ..core.vzone import VZoneDetector
@@ -46,6 +46,7 @@ from ..workloads.layouts import (
     staircase_layout,
 )
 from ..workloads.library import (
+    audit_shelf,
     detect_misplaced_books,
     generate_bookshelf,
     misplace_books,
@@ -179,7 +180,7 @@ def _measured_pair(
     positions: list[Point3D], seed: int, speed_mps: float = 0.1
 ) -> tuple[MeasuredProfileResult, SweepExperiment]:
     experiment = standard_experiment(positions, seed=seed, speed_mps=speed_mps)
-    localizer = STPPLocalizer(STPPConfig(reference_speed_mps=speed_mps))
+    localizer = BatchLocalizer(STPPConfig(reference_speed_mps=speed_mps))
     profiles = profiles_from_read_log(experiment.read_log)
     result = localizer.localize(profiles, expected_tag_ids=experiment.target_ids)
     bottoms = [vz.bottom_time_s for vz in result.vzones.values()]
@@ -306,7 +307,7 @@ def fig09_quadratic_fitting(seed: int = 5) -> QuadraticFittingResult:
     positions = [Point3D(0.15, 0.0, 0.0), Point3D(0.17, 0.0, 0.0), Point3D(0.0, 0.0, 0.0)]
     experiment = standard_experiment(positions, seed=seed, speed_mps=0.1)
     evaluation, _ = run_stpp(experiment, STPPConfig(reference_speed_mps=0.1))
-    localizer = STPPLocalizer(STPPConfig(reference_speed_mps=0.1))
+    localizer = BatchLocalizer(STPPConfig(reference_speed_mps=0.1))
     profiles = profiles_from_read_log(experiment.read_log)
     result = localizer.localize(profiles, expected_tag_ids=experiment.target_ids)
     true_order = sorted(experiment.target_ids, key=lambda tid: experiment.true_x[tid])
@@ -538,7 +539,7 @@ def fig21_library_layout(
     tags = shelf.to_tags(seed=seed)
     scene = standard_antenna_moving_scene(tags, seed=seed)
     sweep = collect_sweep(scene)
-    localizer = STPPLocalizer(STPPConfig())
+    localizer = BatchLocalizer(STPPConfig())
     result = localizer.localize(sweep.profiles, expected_tag_ids=tags.ids())
 
     label_by_id = {tag.tag_id: tag.label for tag in tags}
@@ -592,6 +593,9 @@ def table2_misplaced_books(
 ) -> dict[int, float]:
     """Table 2: success rate of detecting 1/2/3 misplaced books."""
     results: dict[int, float] = {}
+    # One batched engine audits every shelf; the reference profile and its
+    # segmentation are built once and shared across all repetitions.
+    engine = BatchLocalizer(STPPConfig())
     for count in counts:
         successes: list[bool] = []
         for rep in range(repetitions):
@@ -601,18 +605,7 @@ def table2_misplaced_books(
                 levels=levels, books_per_level=books_per_level, seed=seed
             )
             shuffled, misplaced = misplace_books(shelf, count, rng=rng)
-            tags = shuffled.to_tags(seed=seed)
-            scene = standard_antenna_moving_scene(tags, seed=seed)
-            sweep = collect_sweep(scene)
-            localizer = STPPLocalizer(STPPConfig())
-            result = localizer.localize(sweep.profiles, expected_tag_ids=tags.ids())
-            label_by_id = {tag.tag_id: tag.label for tag in tags}
-            detected_physical = [
-                label_by_id[tid] for tid in result.x_ordering.ordered_ids
-            ]
-            flagged = detect_misplaced_books(
-                shuffled.catalogue_order(), detected_physical
-            )
+            flagged = audit_shelf(shuffled, seed=seed, localizer=engine)
             successes.append(all(book in flagged for book in misplaced))
         results[count] = detection_success_rate(successes)
     return results
@@ -744,7 +737,7 @@ def ablation_quadratic_fitting(
         positions = staircase_layout(tag_count, spacing_m, spacing_m)
         experiment = standard_experiment(positions, seed=950 + rep)
         profiles = profiles_from_read_log(experiment.read_log)
-        localizer = STPPLocalizer(STPPConfig())
+        localizer = BatchLocalizer(STPPConfig())
         result = localizer.localize(profiles, expected_tag_ids=experiment.target_ids)
         with_fit.append(
             ordering_accuracy(experiment.true_x, result.x_ordering.ordered_ids)

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..baselines.base import OrderingScheme, SchemeResult
-from ..core.localizer import STPPConfig, STPPLocalizer
+from ..core.localizer import BatchLocalizer, STPPConfig
 from ..rf.geometry import Point3D
 from ..rfid.reading import ReadLog
 from ..rfid.tag import Tag, TagCollection, make_tags
@@ -127,9 +127,13 @@ def standard_experiment(
 def run_stpp(
     experiment: SweepExperiment, config: STPPConfig | None = None
 ) -> tuple[OrderingEvaluation, float]:
-    """Run STPP directly on the experiment's profiles; returns (scores, latency)."""
+    """Run STPP directly on the experiment's profiles; returns (scores, latency).
+
+    Goes through the batched localization engine: all of the experiment's tags
+    are DTW-aligned against the shared reference in one accumulation pass.
+    """
     config = config if config is not None else STPPConfig()
-    localizer = STPPLocalizer(config)
+    localizer = BatchLocalizer(config)
     profiles = profiles_from_read_log(experiment.read_log)
     started = time.perf_counter()
     result = localizer.localize(profiles, expected_tag_ids=experiment.target_ids)

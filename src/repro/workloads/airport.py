@@ -95,6 +95,36 @@ def baggage_batch(
     return BaggageBatch(tags=tags, period=period, batch_index=batch_index)
 
 
+def order_bags(
+    batch: BaggageBatch,
+    seed: int | None = None,
+    localizer=None,
+) -> list[str]:
+    """Recover the belt order of one baggage batch (paper §5.2, end to end).
+
+    Simulates the batch riding the conveyor past the fixed antenna, localizes
+    all bags through the batched STPP engine in one DTW pass, and returns the
+    bag labels in detected belt order (first bag past the antenna first).
+
+    Pass a shared :class:`~repro.core.localizer.BatchLocalizer` as
+    ``localizer`` when processing a stream of batches — e.g. via
+    ``BatchLocalizer.localize_many`` — so every batch reuses the cached
+    reference profile instead of rebuilding it.
+    """
+    from ..core.localizer import BatchLocalizer
+    from ..simulation.collector import collect_sweep
+    from ..simulation.presets import standard_tag_moving_scene
+
+    scene = standard_tag_moving_scene(
+        batch.tags, belt_speed_mps=BELT_SPEED_MPS, seed=seed
+    )
+    sweep = collect_sweep(scene)
+    engine = localizer if localizer is not None else BatchLocalizer()
+    result = engine.localize(sweep.profiles, expected_tag_ids=batch.tags.ids())
+    label_by_id = {tag.tag_id: tag.label for tag in batch.tags}
+    return [label_by_id[tid] for tid in result.x_ordering.ordered_ids]
+
+
 def period_batches(
     period: TrafficPeriod,
     bags_per_batch: int = 20,

@@ -184,6 +184,37 @@ def misplace_books(
     return Bookshelf(books=rebuilt, level_height_m=shelf.level_height_m), misplaced_calls
 
 
+def audit_shelf(
+    shelf: Bookshelf,
+    seed: int | None = None,
+    localizer=None,
+) -> list[str]:
+    """Sweep ``shelf`` once and flag misplaced books (paper §5.1, end to end).
+
+    Simulates the librarian's cart sweep over the whole shelf, localizes every
+    book's tag through the batched STPP engine (one DTW accumulation for all
+    books), and returns the call numbers whose detected physical order
+    contradicts the catalogue order.
+
+    ``localizer`` accepts a pre-built
+    :class:`~repro.core.localizer.BatchLocalizer` so repeated audits (e.g. a
+    nightly inventory pass over many shelves) share one cached reference
+    profile; a default engine is created otherwise.
+    """
+    from ..core.localizer import BatchLocalizer
+    from ..simulation.collector import collect_sweep
+    from ..simulation.presets import standard_antenna_moving_scene
+
+    tags = shelf.to_tags(seed=seed)
+    scene = standard_antenna_moving_scene(tags, seed=seed)
+    sweep = collect_sweep(scene)
+    engine = localizer if localizer is not None else BatchLocalizer()
+    result = engine.localize(sweep.profiles, expected_tag_ids=tags.ids())
+    label_by_id = {tag.tag_id: tag.label for tag in tags}
+    detected_physical = [label_by_id[tid] for tid in result.x_ordering.ordered_ids]
+    return detect_misplaced_books(shelf.catalogue_order(), detected_physical)
+
+
 def detect_misplaced_books(
     catalogue_order: list[str], detected_physical_order: list[str]
 ) -> list[str]:

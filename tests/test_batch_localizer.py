@@ -1,0 +1,239 @@
+"""Batched localization engine: equivalence with the sequential path.
+
+The vectorized/batched DTW kernels are required to be *bit-identical* to the
+seed's pure-Python double loop — batching is a throughput optimisation, never
+a behavioural one.  These tests pin that contract at every level: the raw
+accumulation kernel, the batch aligners, and the end-to-end localizer on a
+seeded scene.  They also cover the degenerate-shape behaviour of the
+backtracker and the error contract of
+:meth:`DTWResult.query_indices_for_reference_range`.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.dtw import (
+    DTWResult,
+    _accumulate_python,
+    _backtrack,
+    accumulate_cost,
+    accumulate_cost_batch,
+    dtw_align,
+    segmented_dtw_align,
+    segmented_dtw_align_batch,
+    subsequence_dtw,
+    subsequence_dtw_batch,
+)
+from repro.core.localizer import BatchLocalizer, STPPConfig, STPPLocalizer
+from repro.core.reference import shared_canonical_reference
+from repro.core.segmentation import segment_profile
+from repro.evaluation.runner import standard_experiment
+from repro.simulation.collector import profiles_from_read_log
+from repro.workloads.airport import MORNING_PEAK, baggage_batch, order_bags
+from repro.workloads.layouts import random_spacing_row
+from repro.workloads.library import audit_shelf, generate_bookshelf, misplace_books
+
+
+class TestVectorizedKernelEquivalence:
+    def test_matches_python_loop_bit_for_bit(self):
+        rng = np.random.default_rng(7)
+        for trial in range(60):
+            rows = int(rng.integers(1, 30))
+            cols = int(rng.integers(1, 45))
+            distance = rng.random((rows, cols))
+            weights = rng.random((rows, cols)) + 0.1 if trial % 2 else None
+            for free_start in (False, True):
+                expected = _accumulate_python(distance, weights, free_start)
+                actual = accumulate_cost(distance, weights, free_start)
+                assert np.array_equal(expected, actual)
+
+    def test_batch_matches_single_across_mixed_shapes_and_chunks(self):
+        rng = np.random.default_rng(11)
+        matrices = [
+            rng.random((int(rng.integers(1, 40)), int(rng.integers(1, 60))))
+            for _ in range(23)
+        ]
+        for free_start in (False, True):
+            # A tiny chunk budget forces several padded chunks of mixed shapes.
+            batched = accumulate_cost_batch(
+                matrices, free_query_start=free_start, max_cells=4000
+            )
+            for matrix, cost in zip(matrices, batched):
+                assert np.array_equal(
+                    cost, accumulate_cost(matrix, None, free_start)
+                )
+
+    def test_subsequence_batch_equals_sequential(self):
+        rng = np.random.default_rng(3)
+        reference = rng.random(25)
+        queries = [rng.random(int(rng.integers(5, 90))) for _ in range(15)]
+        batched = subsequence_dtw_batch(reference, queries)
+        for query, result in zip(queries, batched):
+            assert result == subsequence_dtw(reference, query)
+
+    def test_segmented_batch_equals_sequential(self):
+        reference = shared_canonical_reference()
+        ref_segments = segment_profile(reference.profile, 5)
+        rng = np.random.default_rng(5)
+        positions = random_spacing_row(6, 0.06, 0.18, rng=rng)
+        experiment = standard_experiment(positions, seed=21)
+        profiles = profiles_from_read_log(experiment.read_log)
+        segmentations = [
+            segment_profile(profile, 5)
+            for profile in profiles.profiles.values()
+            if len(profile) >= 12
+        ]
+        assert len(segmentations) >= 2
+        batched = segmented_dtw_align_batch(ref_segments, segmentations)
+        for segments, result in zip(segmentations, batched):
+            assert result == segmented_dtw_align(ref_segments, segments)
+
+    def test_batch_rejects_empty_segmentations(self):
+        reference = shared_canonical_reference()
+        ref_segments = segment_profile(reference.profile, 5)
+        with pytest.raises(ValueError):
+            segmented_dtw_align_batch(ref_segments, [[]])
+        with pytest.raises(ValueError):
+            segmented_dtw_align_batch([], [ref_segments])
+
+
+class TestBacktrackDegenerateShapes:
+    def test_single_row_full_alignment_walks_all_columns(self):
+        result = dtw_align(np.array([1.0]), np.array([1.0, 2.0, 3.0]))
+        assert result.path == ((0, 0), (0, 1), (0, 2))
+        assert (result.query_start, result.query_end) == (0, 2)
+
+    def test_single_column_full_alignment_walks_all_rows(self):
+        result = dtw_align(np.array([1.0, 2.0, 3.0]), np.array([1.0]))
+        assert result.path == ((0, 0), (1, 0), (2, 0))
+        assert (result.query_start, result.query_end) == (0, 0)
+
+    def test_single_row_subsequence_is_single_cell(self):
+        # A free query start on a one-row matrix stops immediately: the match
+        # is the single cheapest column.
+        result = subsequence_dtw(np.array([2.0]), np.array([5.0, 2.5, 9.0]))
+        assert result.path == ((0, 1),)
+        assert result.cost == pytest.approx(0.5)
+
+    def test_backtrack_1x1(self):
+        path = _backtrack(np.array([[3.0]]))
+        assert path == ((0, 0),)
+
+
+class TestQueryIndicesContract:
+    def _result(self) -> DTWResult:
+        return dtw_align(np.array([0.0, 1.0, 2.0]), np.array([0.0, 1.0, 2.0]))
+
+    def test_inclusive_range(self):
+        result = self._result()
+        assert result.query_indices_for_reference_range(0, 2) == (0, 2)
+        assert result.query_indices_for_reference_range(1, 1) == (1, 1)
+
+    def test_inverted_range_raises(self):
+        with pytest.raises(ValueError, match="inverted"):
+            self._result().query_indices_for_reference_range(2, 1)
+
+    def test_negative_bound_raises(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            self._result().query_indices_for_reference_range(-1, 2)
+
+    def test_uncovered_range_raises_with_covered_rows(self):
+        with pytest.raises(ValueError, match=r"path covers reference rows \[0, 2\]"):
+            self._result().query_indices_for_reference_range(5, 9)
+
+
+def _assert_vzones_equal(left, right):
+    assert set(left) == set(right)
+    for tag_id in left:
+        a, b = left[tag_id], right[tag_id]
+        assert (a.start_index, a.end_index, a.method) == (
+            b.start_index,
+            b.end_index,
+            b.method,
+        )
+        assert a.bottom_time_s == b.bottom_time_s
+        assert a.dtw_cost == b.dtw_cost or (
+            math.isnan(a.dtw_cost) and math.isnan(b.dtw_cost)
+        )
+
+
+class TestBatchLocalizerEquivalence:
+    @pytest.mark.parametrize("method", ["segmented_dtw", "full_dtw"])
+    def test_matches_per_tag_sequential_localization(self, method):
+        rng = np.random.default_rng(3)
+        positions = random_spacing_row(8, 0.05, 0.2, rng=rng)
+        experiment = standard_experiment(positions, seed=3)
+        profiles = profiles_from_read_log(experiment.read_log)
+        config = STPPConfig(detection_method=method)
+
+        sequential = STPPLocalizer(config, batched=False).localize(
+            profiles, expected_tag_ids=experiment.target_ids
+        )
+        batched = BatchLocalizer(config).localize(
+            profiles, expected_tag_ids=experiment.target_ids
+        )
+
+        assert sequential.x_ordering.ordered_ids == batched.x_ordering.ordered_ids
+        assert sequential.y_ordering.ordered_ids == batched.y_ordering.ordered_ids
+        assert sequential.x_ordering.unordered_ids == batched.x_ordering.unordered_ids
+        _assert_vzones_equal(sequential.vzones, batched.vzones)
+        assert batched.metadata["batched"] is True
+        assert sequential.metadata["batched"] is False
+
+    def test_detector_batched_flag_is_pure_throughput(self):
+        rng = np.random.default_rng(9)
+        positions = random_spacing_row(5, 0.06, 0.15, rng=rng)
+        experiment = standard_experiment(positions, seed=9)
+        profiles = profiles_from_read_log(experiment.read_log)
+        detector = STPPLocalizer(STPPConfig()).detector
+        profile_map = dict(profiles.profiles)
+        _assert_vzones_equal(
+            detector.detect_all(profile_map, batched=False),
+            detector.detect_all(profile_map, batched=True),
+        )
+
+    def test_localize_many_matches_individual_calls(self):
+        engine = BatchLocalizer(STPPConfig())
+        profile_sets = []
+        expected = []
+        for seed in (31, 32):
+            positions = random_spacing_row(
+                4, 0.07, 0.2, rng=np.random.default_rng(seed)
+            )
+            experiment = standard_experiment(positions, seed=seed)
+            profile_sets.append(profiles_from_read_log(experiment.read_log))
+            expected.append(experiment.target_ids)
+        many = engine.localize_many(profile_sets, expected_tag_ids=expected)
+        for profiles, tag_ids, result in zip(profile_sets, expected, many):
+            single = engine.localize(profiles, expected_tag_ids=tag_ids)
+            assert single.x_ordering.ordered_ids == result.x_ordering.ordered_ids
+            assert single.y_ordering.ordered_ids == result.y_ordering.ordered_ids
+
+    def test_localize_many_validates_lengths(self):
+        engine = BatchLocalizer(STPPConfig())
+        with pytest.raises(ValueError, match="one entry per profile set"):
+            engine.localize_many([], expected_tag_ids=[["a"]])
+
+    def test_shared_reference_is_cached(self):
+        first = BatchLocalizer(STPPConfig())
+        second = BatchLocalizer(STPPConfig())
+        assert first.reference is second.reference
+
+
+class TestWorkloadEntryPoints:
+    def test_audit_shelf_flags_misplaced_books(self):
+        shelf = generate_bookshelf(levels=1, books_per_level=10, seed=42)
+        shuffled, misplaced = misplace_books(
+            shelf, 1, rng=np.random.default_rng(42)
+        )
+        flagged = audit_shelf(shuffled, seed=42)
+        assert all(book in flagged for book in misplaced)
+
+    def test_order_bags_recovers_belt_order(self):
+        batch = baggage_batch(MORNING_PEAK, bag_count=5, seed=13)
+        detected = order_bags(batch, seed=13)
+        label_by_id = {tag.tag_id: tag.label for tag in batch.tags}
+        true_labels = [label_by_id[tid] for tid in batch.ground_truth_order()]
+        assert detected == true_labels
