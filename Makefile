@@ -7,12 +7,15 @@
 #                     each figure/table regenerator still executes end to end)
 #   make bench-dtw    time the DTW kernels (python-loop vs vectorized vs
 #                     batched) and write BENCH_dtw.json
+#   make bench-experiments
+#                     time the experiment engine serial vs sharded and write
+#                     BENCH_experiments.json
 #   make examples     run the runnable examples
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test unit bench-smoke bench-dtw examples
+.PHONY: test unit bench-smoke bench-dtw bench-experiments examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,6 +31,9 @@ bench-smoke:
 
 bench-dtw:
 	$(PYTHON) benchmarks/bench_dtw.py
+
+bench-experiments:
+	$(PYTHON) benchmarks/bench_experiments.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -1,0 +1,134 @@
+"""Experiment-engine timing harness: serial vs sharded sweep execution.
+
+Runs the same spacing-sweep workload (the shape behind Figures 13/14: a
+multi-spacing staircase sweep, ``repetitions`` independent simulated sweeps
+per spacing, STPP scored on each) through the
+:class:`~repro.evaluation.sweep.SweepService` twice:
+
+* ``serial``  — the in-process fallback (one repetition after another), the
+  cost profile of the pre-engine per-figure ``for rep in range(...)`` loops;
+* ``sharded`` — repetitions sharded across a ``ProcessPoolExecutor`` with one
+  worker per available core.
+
+Both paths execute the identical shard function with identical per-repetition
+seeds, so the results are bit-identical (asserted here); only the wall clock
+differs.  The measured times, the speed-up, and the machine's core count are
+written to ``BENCH_experiments.json`` so the scaling trajectory is tracked PR
+over PR.  On a single-core runner the sharded path degenerates to pool
+overhead; the JSON records ``cpu_count`` so readers can tell.
+
+Run with:
+  PYTHONPATH=src python benchmarks/bench_experiments.py [--repetitions 8] [--out BENCH_experiments.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from datetime import datetime, timezone
+from functools import partial
+from pathlib import Path
+
+from repro.evaluation.experiments import _staircase_experiment
+from repro.evaluation.sweep import SweepService, scheme_sweep_plan, score_stpp
+
+SPACINGS_M = (0.04, 0.06, 0.08, 0.10)
+
+
+def spacing_sweep_plans(repetitions: int):
+    """The benchmark workload: one plan per spacing, ``repetitions`` reps each."""
+    return [
+        scheme_sweep_plan(
+            name=f"bench_spacing[{spacing}]",
+            scene_factory=partial(
+                _staircase_experiment,
+                tag_count=8,
+                spacing_x_m=spacing,
+                spacing_y_m=spacing,
+                tag_moving=False,
+            ),
+            scorer=score_stpp,
+            repetitions=repetitions,
+            base_seed=int(spacing * 1000),
+        )
+        for spacing in SPACINGS_M
+    ]
+
+
+def run_once(service: SweepService, repetitions: int):
+    """Execute the workload on ``service``; returns (elapsed_s, outcomes)."""
+    plans = spacing_sweep_plans(repetitions)
+    started = time.perf_counter()
+    outcomes = service.run_many(plans)
+    return time.perf_counter() - started, outcomes
+
+
+def evaluations_of(outcomes):
+    """The deterministic portion of the results, for the equivalence check."""
+    return [
+        (outcome.plan, result.rep_index, result.seed, score.scheme, score.evaluation)
+        for outcome in outcomes
+        for result in outcome.results
+        for score in result.scores
+    ]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--repetitions", type=int, default=8,
+        help="repetitions per spacing (default 8; total sweeps = 4x this)",
+    )
+    parser.add_argument("--out", type=Path, default=Path("BENCH_experiments.json"))
+    args = parser.parse_args()
+
+    cpu_count = os.cpu_count() or 1
+    total_sweeps = args.repetitions * len(SPACINGS_M)
+    print(f"workload: {len(SPACINGS_M)} spacings x {args.repetitions} reps "
+          f"= {total_sweeps} simulated sweeps; {cpu_count} cores")
+
+    # Warm the process-wide reference cache so neither path pays it.
+    warm_service = SweepService(parallel=False)
+    run_once(warm_service, 1)
+
+    serial_s, serial_outcomes = run_once(SweepService(parallel=False), args.repetitions)
+    print(f"serial : {serial_s:8.2f} s")
+
+    sharded_service = SweepService(max_workers=cpu_count, parallel=True, shard_size=1)
+    sharded_s, sharded_outcomes = run_once(sharded_service, args.repetitions)
+    print(f"sharded: {sharded_s:8.2f} s  ({cpu_count} workers)")
+
+    if evaluations_of(serial_outcomes) != evaluations_of(sharded_outcomes):
+        raise AssertionError("serial and sharded results diverged — engine bug")
+    print("serial/sharded results: bit-identical")
+
+    speedup = serial_s / max(sharded_s, 1e-9)
+    print(f"speedup: {speedup:8.2f} x")
+
+    payload = {
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "platform": platform.platform(),
+        "cpu_count": cpu_count,
+        "workload": {
+            "spacings_m": list(SPACINGS_M),
+            "repetitions_per_spacing": args.repetitions,
+            "total_sweeps": total_sweeps,
+            "scheme": "STPP",
+        },
+        "timings_s": {
+            "serial": serial_s,
+            "sharded": sharded_s,
+        },
+        "sharded_workers": cpu_count,
+        "speedup_sharded_vs_serial": speedup,
+        "results_bit_identical": True,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+
+if __name__ == "__main__":
+    main()

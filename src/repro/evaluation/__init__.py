@@ -18,14 +18,33 @@ from .runner import (
     mean_accuracy,
     run_stpp,
     standard_experiment,
+    standard_scheme_suite,
+)
+from .sweep import (
+    RepetitionResult,
+    SchemeScore,
+    SweepOutcome,
+    SweepPlan,
+    SweepService,
+    default_sweep_service,
+    run_plans,
+    scheme_sweep_plan,
+    score_schemes,
+    score_stpp,
 )
 
 __all__ = [
     "LatencySample",
     "OrderingEvaluation",
+    "RepetitionResult",
     "SchemeRun",
+    "SchemeScore",
     "SweepExperiment",
+    "SweepOutcome",
+    "SweepPlan",
+    "SweepService",
     "build_experiment",
+    "default_sweep_service",
     "detection_success_rate",
     "evaluate_ordering",
     "experiments",
@@ -34,8 +53,13 @@ __all__ = [
     "measure_scheme_latency",
     "ordering_accuracy",
     "pairwise_order_accuracy",
+    "run_plans",
     "run_stpp",
+    "scheme_sweep_plan",
+    "score_schemes",
+    "score_stpp",
     "standard_experiment",
+    "standard_scheme_suite",
     "strict_ordering_accuracy",
     "summarise",
 ]

@@ -8,21 +8,26 @@ EXPERIMENTS.md records the comparison.
 All functions take a ``repetitions`` / scale parameter so the benchmarks can
 run at a tractable size; the defaults are chosen to finish in seconds while
 still exhibiting the paper's trends.
+
+Every repeated experiment runs through the sharded sweep engine
+(:mod:`repro.evaluation.sweep`): the function builds declarative
+:class:`~repro.evaluation.sweep.SweepPlan`\\ s (scene factory + schemes to
+score + explicit per-repetition seeds preserving the historical values) and
+hands them to a :class:`~repro.evaluation.sweep.SweepService`, which shards
+the repetitions across worker processes.  Pass ``service=`` to control
+parallelism; the results are bit-identical either way.  The repetition tasks
+below are module-level functions (combined with :func:`functools.partial`)
+because plans must be picklable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from functools import partial
 
 import numpy as np
 
-from ..baselines import (
-    BackPosScheme,
-    GRssiScheme,
-    LandmarcScheme,
-    OTrackScheme,
-    STPPScheme,
-)
+from ..baselines import OTrackScheme, STPPScheme
 from ..core.dtw import segmented_dtw_align, subsequence_dtw
 from ..core.fitting import fit_vzone_profile
 from ..core.localizer import BatchLocalizer, STPPConfig
@@ -36,9 +41,9 @@ from ..simulation.presets import (
     standard_antenna_moving_scene,
     standard_tag_moving_scene,
 )
-from ..workloads.airport import PAPER_PERIODS, TrafficPeriod, period_batches
+from ..workloads.airport import PAPER_PERIODS, TrafficPeriod, baggage_batch
+from ..workloads.warehouse import ConveyorConfig, warehouse_sweep_plan
 from ..workloads.layouts import (
-    grid_layout,
     paper_test_cases,
     random_spacing_row,
     reference_tag_grid,
@@ -47,13 +52,27 @@ from ..workloads.layouts import (
 )
 from ..workloads.library import (
     audit_shelf,
-    detect_misplaced_books,
     generate_bookshelf,
     misplace_books,
 )
 from .latency import LatencySample, measure_scheme_latency
 from .metrics import detection_success_rate, ordering_accuracy, summarise
-from .runner import SweepExperiment, mean_accuracy, run_stpp, standard_experiment
+from .runner import (
+    SweepExperiment,
+    build_experiment,
+    run_stpp,
+    standard_experiment,
+    standard_scheme_suite,
+)
+from .sweep import (
+    SchemeScore,
+    SweepPlan,
+    SweepService,
+    run_plans,
+    scheme_sweep_plan,
+    score_schemes,
+    score_stpp,
+)
 
 # --------------------------------------------------------------------------
 # Section 2 figures: motivation and phase-profile anatomy
@@ -320,6 +339,48 @@ def fig09_quadratic_fitting(seed: int = 5) -> QuadraticFittingResult:
 
 
 # --------------------------------------------------------------------------
+# Sweep-plan building blocks (module-level so plans stay picklable)
+# --------------------------------------------------------------------------
+
+_CASES: tuple[tuple[str, bool], ...] = (("tag_moving", True), ("antenna_moving", False))
+"""The paper's two deployment cases: conveyor belt vs hand-pushed antenna."""
+
+
+def _staircase_experiment(
+    rep_index: int,
+    seed: int,
+    tag_count: int,
+    spacing_x_m: float,
+    spacing_y_m: float,
+    tag_moving: bool,
+) -> SweepExperiment:
+    """One repetition's sweep over a staircase layout."""
+    positions = staircase_layout(tag_count, spacing_x_m, spacing_y_m)
+    return standard_experiment(positions, seed=seed, tag_moving=tag_moving)
+
+
+def _population_experiment(
+    rep_index: int,
+    seed: int,
+    population: int,
+    tag_moving: bool,
+) -> SweepExperiment:
+    """One repetition's sweep over a random-spacing row of ``population`` tags."""
+    rng = np.random.default_rng(1000 + population * 10 + rep_index)
+    positions = random_spacing_row(population, 0.02, 0.10, rng=rng, y_jitter_m=0.05)
+    return standard_experiment(positions, seed=seed, tag_moving=tag_moving)
+
+
+def _stpp_otrack_suite(experiment: SweepExperiment) -> list:
+    """The STPP-vs-OTrack pairing of Figure 19."""
+    return [STPPScheme(), OTrackScheme()]
+
+
+_SCORE_FIVE_SCHEMES = partial(score_schemes, scheme_factory=standard_scheme_suite)
+_SCORE_STPP_OTRACK = partial(score_schemes, scheme_factory=_stpp_otrack_suite)
+
+
+# --------------------------------------------------------------------------
 # Section 4 micro-benchmarks
 # --------------------------------------------------------------------------
 
@@ -329,21 +390,33 @@ def fig12_window_size(
     repetitions: int = 3,
     tag_count: int = 8,
     spacing_m: float = 0.08,
+    service: SweepService | None = None,
 ) -> dict[str, dict[int, float]]:
     """Figure 12: coarse-segment window size vs ordering accuracy."""
-    results: dict[str, dict[int, float]] = {"tag_moving": {}, "antenna_moving": {}}
-    for case, tag_moving in (("tag_moving", True), ("antenna_moving", False)):
+    plans = []
+    keys: list[tuple[str, int]] = []
+    for case, tag_moving in _CASES:
         for window in window_sizes:
-            evaluations = []
-            for rep in range(repetitions):
-                positions = staircase_layout(tag_count, spacing_m, spacing_m)
-                experiment = standard_experiment(
-                    positions, seed=100 * window + rep, tag_moving=tag_moving
+            config = STPPConfig(window_size=window, detection_method="segmented_dtw")
+            plans.append(
+                scheme_sweep_plan(
+                    name=f"fig12[{case},w={window}]",
+                    scene_factory=partial(
+                        _staircase_experiment,
+                        tag_count=tag_count,
+                        spacing_x_m=spacing_m,
+                        spacing_y_m=spacing_m,
+                        tag_moving=tag_moving,
+                    ),
+                    scorer=partial(score_stpp, config=config),
+                    repetitions=repetitions,
+                    seeds=[100 * window + rep for rep in range(repetitions)],
                 )
-                config = STPPConfig(window_size=window, detection_method="segmented_dtw")
-                evaluation, _ = run_stpp(experiment, config)
-                evaluations.append(evaluation)
-            results[case][window] = mean_accuracy(evaluations)["combined"]
+            )
+            keys.append((case, window))
+    results: dict[str, dict[int, float]] = {case: {} for case, _ in _CASES}
+    for (case, window), outcome in zip(keys, run_plans(plans, service)):
+        results[case][window] = outcome.mean_accuracy("STPP")["combined"]
     return results
 
 
@@ -352,60 +425,76 @@ def _spacing_sweep(
     repetitions: int,
     tag_moving: bool,
     tag_count: int = 8,
+    service: SweepService | None = None,
 ) -> dict[float, dict[str, float]]:
-    results: dict[float, dict[str, float]] = {}
-    for spacing in spacings_m:
-        evaluations = []
-        for rep in range(repetitions):
-            positions = staircase_layout(tag_count, spacing, spacing)
-            experiment = standard_experiment(
-                positions, seed=int(spacing * 1000) * 10 + rep, tag_moving=tag_moving
-            )
-            evaluation, _ = run_stpp(experiment)
-            evaluations.append(evaluation)
-        results[spacing] = mean_accuracy(evaluations)
-    return results
+    plans = [
+        scheme_sweep_plan(
+            name=f"spacing[{spacing}]",
+            scene_factory=partial(
+                _staircase_experiment,
+                tag_count=tag_count,
+                spacing_x_m=spacing,
+                spacing_y_m=spacing,
+                tag_moving=tag_moving,
+            ),
+            scorer=score_stpp,
+            repetitions=repetitions,
+            seeds=[int(spacing * 1000) * 10 + rep for rep in range(repetitions)],
+        )
+        for spacing in spacings_m
+    ]
+    outcomes = run_plans(plans, service)
+    return {
+        spacing: outcome.mean_accuracy("STPP")
+        for spacing, outcome in zip(spacings_m, outcomes)
+    }
 
 
 def fig13_spacing_tag_moving(
     spacings_m: tuple[float, ...] = (0.02, 0.04, 0.06, 0.08, 0.10),
     repetitions: int = 3,
+    service: SweepService | None = None,
 ) -> dict[float, dict[str, float]]:
     """Figure 13: tag-to-tag distance vs accuracy, tag-moving (conveyor) case."""
-    return _spacing_sweep(spacings_m, repetitions, tag_moving=True)
+    return _spacing_sweep(spacings_m, repetitions, tag_moving=True, service=service)
 
 
 def fig14_spacing_antenna_moving(
     spacings_m: tuple[float, ...] = (0.02, 0.04, 0.06, 0.08, 0.10),
     repetitions: int = 3,
+    service: SweepService | None = None,
 ) -> dict[float, dict[str, float]]:
     """Figure 14: tag-to-tag distance vs accuracy, antenna-moving case."""
-    return _spacing_sweep(spacings_m, repetitions, tag_moving=False)
+    return _spacing_sweep(spacings_m, repetitions, tag_moving=False, service=service)
 
 
 def table1_population(
     populations: tuple[int, ...] = (5, 10, 15, 20, 25, 30),
     repetitions: int = 2,
+    service: SweepService | None = None,
 ) -> dict[str, dict[int, dict[str, float]]]:
     """Table 1: tag population within the reading zone vs ordering accuracy."""
-    results: dict[str, dict[int, dict[str, float]]] = {
-        "tag_moving": {},
-        "antenna_moving": {},
-    }
-    for case, tag_moving in (("tag_moving", True), ("antenna_moving", False)):
+    plans = []
+    keys: list[tuple[str, int]] = []
+    for case, tag_moving in _CASES:
         for population in populations:
-            evaluations = []
-            for rep in range(repetitions):
-                rng = np.random.default_rng(1000 + population * 10 + rep)
-                positions = random_spacing_row(
-                    population, 0.02, 0.10, rng=rng, y_jitter_m=0.05
+            plans.append(
+                scheme_sweep_plan(
+                    name=f"table1[{case},n={population}]",
+                    scene_factory=partial(
+                        _population_experiment,
+                        population=population,
+                        tag_moving=tag_moving,
+                    ),
+                    scorer=score_stpp,
+                    repetitions=repetitions,
+                    seeds=[population * 100 + rep for rep in range(repetitions)],
                 )
-                experiment = standard_experiment(
-                    positions, seed=population * 100 + rep, tag_moving=tag_moving
-                )
-                evaluation, _ = run_stpp(experiment)
-                evaluations.append(evaluation)
-            results[case][population] = mean_accuracy(evaluations)
+            )
+            keys.append((case, population))
+    results: dict[str, dict[int, dict[str, float]]] = {case: {} for case, _ in _CASES}
+    for (case, population), outcome in zip(keys, run_plans(plans, service)):
+        results[case][population] = outcome.mean_accuracy("STPP")
     return results
 
 
@@ -414,24 +503,35 @@ def table1_population(
 # --------------------------------------------------------------------------
 
 
-def _schemes_for(experiment: SweepExperiment) -> list:
-    """Instantiate the five schemes for one experiment's deployment."""
-    xs = [experiment.true_x[tid] for tid in experiment.target_ids]
-    ys = [experiment.true_y[tid] for tid in experiment.target_ids]
-    margin = 0.3
-    backpos = BackPosScheme(
-        antenna_position_at=experiment.scene.scenario.antenna_position,
-        region_min=Point3D(min(xs) - margin, min(ys) - margin, 0.0),
-        region_max=Point3D(max(xs) + margin, max(ys) + margin, 0.0),
+def _fig17_experiment(
+    rep_index: int,
+    seed: int,
+    layout_spacing_m: float,
+    tag_count: int,
+) -> SweepExperiment:
+    """One (repetition, layout) cell of Figure 17.
+
+    The plan enumerates repetition-major, layout-minor: repetition ``r`` of
+    layout ``l`` is plan repetition ``r * len(layouts) + l``.
+    """
+    layouts = paper_test_cases(spacing_m=layout_spacing_m)
+    positions = list(layouts.values())[rep_index % len(layouts)]
+    if len(positions) > tag_count:
+        positions = positions[:tag_count]
+    xs = [p.x for p in positions]
+    ys = [p.y for p in positions]
+    reference_grid = reference_tag_grid(
+        max(xs) - min(xs) + 0.2, max(ys) - min(ys) + 0.2, spacing_m=0.15,
+        origin=Point3D(min(xs) - 0.1, min(ys) - 0.1, 0.0),
     )
-    landmarc = LandmarcScheme(reference_positions=experiment.reference_positions)
-    return [GRssiScheme(), OTrackScheme(), landmarc, backpos, STPPScheme()]
+    return standard_experiment(positions, seed=seed, reference_grid=reference_grid)
 
 
 def fig17_scheme_comparison(
     repetitions: int = 1,
     layout_spacing_m: float = 0.04,
     tag_count: int = 10,
+    service: SweepService | None = None,
 ) -> dict[str, dict[str, float]]:
     """Figure 17: ordering accuracy of the five schemes over the five layouts.
 
@@ -439,60 +539,66 @@ def fig17_scheme_comparison(
     settings of Figure 16; ``layout_spacing_m`` controls the adjacent-tag
     distance of the approximated layouts.
     """
-    per_scheme: dict[str, list] = {}
-    layouts = paper_test_cases(spacing_m=layout_spacing_m)
-    for rep in range(repetitions):
-        for layout_index, positions in enumerate(layouts.values()):
-            if len(positions) > tag_count:
-                positions = positions[:tag_count]
-            xs = [p.x for p in positions]
-            ys = [p.y for p in positions]
-            reference_grid = reference_tag_grid(
-                max(xs) - min(xs) + 0.2, max(ys) - min(ys) + 0.2, spacing_m=0.15,
-                origin=Point3D(min(xs) - 0.1, min(ys) - 0.1, 0.0),
-            )
-            experiment = standard_experiment(
-                positions,
-                seed=500 + 17 * rep + layout_index,
-                reference_grid=reference_grid,
-            )
-            for scheme in _schemes_for(experiment):
-                run = experiment.run_scheme(scheme)
-                per_scheme.setdefault(scheme.name, []).append(run.evaluation)
-    return {
-        name: mean_accuracy(evaluations) for name, evaluations in per_scheme.items()
-    }
+    layout_count = len(paper_test_cases(spacing_m=layout_spacing_m))
+    plan = scheme_sweep_plan(
+        name="fig17",
+        scene_factory=partial(
+            _fig17_experiment, layout_spacing_m=layout_spacing_m, tag_count=tag_count
+        ),
+        scorer=_SCORE_FIVE_SCHEMES,
+        repetitions=repetitions * layout_count,
+        seeds=[
+            500 + 17 * rep + layout_index
+            for rep in range(repetitions)
+            for layout_index in range(layout_count)
+        ],
+    )
+    (outcome,) = run_plans([plan], service)
+    return {name: outcome.mean_accuracy(name) for name in outcome.schemes()}
+
+
+def _fig18_experiment(
+    rep_index: int, seed: int, spacing_m: float, tag_count: int
+) -> SweepExperiment:
+    """One repetition of the Figure 18 spacing box plot."""
+    positions = staircase_layout(tag_count, spacing_m, min(spacing_m, 0.10))
+    xs = [p.x for p in positions]
+    ys = [p.y for p in positions]
+    # Keep the Landmarc reference deployment sparse (a handful of
+    # anchors), otherwise the reference tags dominate the reading
+    # zone and starve every scheme of reads on the target tags.
+    span_x = max(xs) - min(xs) + 0.2
+    span_y = max(ys) - min(ys) + 0.2
+    reference_grid = reference_tag_grid(
+        span_x, span_y, spacing_m=max(0.25, span_x / 4.0),
+        origin=Point3D(min(xs) - 0.1, min(ys) - 0.1, 0.0),
+    )
+    return standard_experiment(positions, seed=seed, reference_grid=reference_grid)
 
 
 def fig18_spacing_boxplot(
     spacings_m: tuple[float, ...] = (0.10, 0.25, 0.50),
     repetitions: int = 2,
     tag_count: int = 10,
+    service: SweepService | None = None,
 ) -> dict[str, list[float]]:
     """Figure 18: per-scheme accuracy distribution as spacing shrinks (20→10 tags scaled)."""
+    plans = [
+        scheme_sweep_plan(
+            name=f"fig18[{spacing}]",
+            scene_factory=partial(
+                _fig18_experiment, spacing_m=spacing, tag_count=tag_count
+            ),
+            scorer=_SCORE_FIVE_SCHEMES,
+            repetitions=repetitions,
+            seeds=[int(spacing * 100) * 10 + rep for rep in range(repetitions)],
+        )
+        for spacing in spacings_m
+    ]
     samples: dict[str, list[float]] = {}
-    for spacing in spacings_m:
-        for rep in range(repetitions):
-            positions = staircase_layout(tag_count, spacing, min(spacing, 0.10))
-            xs = [p.x for p in positions]
-            ys = [p.y for p in positions]
-            # Keep the Landmarc reference deployment sparse (a handful of
-            # anchors), otherwise the reference tags dominate the reading
-            # zone and starve every scheme of reads on the target tags.
-            span_x = max(xs) - min(xs) + 0.2
-            span_y = max(ys) - min(ys) + 0.2
-            reference_grid = reference_tag_grid(
-                span_x, span_y, spacing_m=max(0.25, span_x / 4.0),
-                origin=Point3D(min(xs) - 0.1, min(ys) - 0.1, 0.0),
-            )
-            experiment = standard_experiment(
-                positions,
-                seed=int(spacing * 100) * 10 + rep,
-                reference_grid=reference_grid,
-            )
-            for scheme in _schemes_for(experiment):
-                run = experiment.run_scheme(scheme)
-                samples.setdefault(scheme.name, []).append(run.evaluation.combined)
+    for outcome in run_plans(plans, service):
+        for name in outcome.schemes():
+            samples.setdefault(name, []).extend(outcome.accuracy_samples(name, "combined"))
     return samples
 
 
@@ -500,18 +606,29 @@ def fig19_population_boxplot(
     populations: tuple[int, ...] = (5, 10, 20, 30),
     repetitions: int = 2,
     spacing_m: float = 0.10,
+    service: SweepService | None = None,
 ) -> dict[str, list[float]]:
     """Figure 19: STPP vs OTrack accuracy distribution as population grows."""
+    plans = [
+        scheme_sweep_plan(
+            name=f"fig19[n={population}]",
+            scene_factory=partial(
+                _staircase_experiment,
+                tag_count=population,
+                spacing_x_m=spacing_m,
+                spacing_y_m=spacing_m,
+                tag_moving=True,
+            ),
+            scorer=_SCORE_STPP_OTRACK,
+            repetitions=repetitions,
+            seeds=[population * 13 + rep for rep in range(repetitions)],
+        )
+        for population in populations
+    ]
     samples: dict[str, list[float]] = {"STPP": [], "OTrack": []}
-    for population in populations:
-        for rep in range(repetitions):
-            positions = staircase_layout(population, spacing_m, spacing_m)
-            experiment = standard_experiment(
-                positions, seed=population * 13 + rep, tag_moving=True
-            )
-            for scheme in (STPPScheme(), OTrackScheme()):
-                run = experiment.run_scheme(scheme)
-                samples[scheme.name].append(run.evaluation.accuracy_x)
+    for outcome in run_plans(plans, service):
+        for name in samples:
+            samples[name].extend(outcome.accuracy_samples(name, "accuracy_x"))
     return samples
 
 
@@ -572,17 +689,51 @@ def fig21_library_layout(
     )
 
 
+def _library_sweep_task(
+    rep_index: int, seed: int, books_per_level: int, levels: int
+) -> tuple[SchemeScore, ...]:
+    """One shelf sweep of the §5.1 headline measurement."""
+    layout = fig21_library_layout(
+        seed=seed, books_per_level=books_per_level, levels=levels
+    )
+    return (SchemeScore(scheme="library", metrics={"accuracy": layout.accuracy}),)
+
+
 def case_library_headline(
-    sweeps: int = 5, books_per_level: int = 15, levels: int = 3
+    sweeps: int = 5,
+    books_per_level: int = 15,
+    levels: int = 3,
+    service: SweepService | None = None,
 ) -> float:
     """§5.1 headline: mean per-level ordering accuracy over repeated sweeps."""
-    accuracies = []
-    for sweep_index in range(sweeps):
-        layout = fig21_library_layout(
-            seed=20 + sweep_index, books_per_level=books_per_level, levels=levels
-        )
-        accuracies.append(layout.accuracy)
-    return float(np.mean(accuracies))
+    plan = SweepPlan(
+        name="library_headline",
+        repetitions=sweeps,
+        task=partial(
+            _library_sweep_task, books_per_level=books_per_level, levels=levels
+        ),
+        seeds=[20 + sweep_index for sweep_index in range(sweeps)],
+    )
+    (outcome,) = run_plans([plan], service)
+    return float(np.mean(outcome.metric_samples("library", "accuracy")))
+
+
+def _misplaced_books_task(
+    rep_index: int, seed: int, count: int, books_per_level: int, levels: int
+) -> tuple[SchemeScore, ...]:
+    """One Table 2 trial: misplace ``count`` books, audit, check detection.
+
+    Each repetition builds its own :class:`BatchLocalizer`; the reference
+    profile and its segmentation are process-wide cached
+    (``shared_canonical_reference``), so the engine is still shared within a
+    shard worker.
+    """
+    rng = np.random.default_rng(seed)
+    shelf = generate_bookshelf(levels=levels, books_per_level=books_per_level, seed=seed)
+    shuffled, misplaced = misplace_books(shelf, count, rng=rng)
+    flagged = audit_shelf(shuffled, seed=seed, localizer=BatchLocalizer(STPPConfig()))
+    success = all(book in flagged for book in misplaced)
+    return (SchemeScore(scheme="detection", metrics={"success": float(success)}),)
 
 
 def table2_misplaced_books(
@@ -590,55 +741,86 @@ def table2_misplaced_books(
     repetitions: int = 5,
     books_per_level: int = 15,
     levels: int = 1,
+    service: SweepService | None = None,
 ) -> dict[int, float]:
     """Table 2: success rate of detecting 1/2/3 misplaced books."""
-    results: dict[int, float] = {}
-    # One batched engine audits every shelf; the reference profile and its
-    # segmentation are built once and shared across all repetitions.
-    engine = BatchLocalizer(STPPConfig())
-    for count in counts:
-        successes: list[bool] = []
-        for rep in range(repetitions):
-            seed = 300 + count * 50 + rep
-            rng = np.random.default_rng(seed)
-            shelf = generate_bookshelf(
-                levels=levels, books_per_level=books_per_level, seed=seed
-            )
-            shuffled, misplaced = misplace_books(shelf, count, rng=rng)
-            flagged = audit_shelf(shuffled, seed=seed, localizer=engine)
-            successes.append(all(book in flagged for book in misplaced))
-        results[count] = detection_success_rate(successes)
-    return results
+    plans = [
+        SweepPlan(
+            name=f"table2[{count}]",
+            repetitions=repetitions,
+            task=partial(
+                _misplaced_books_task,
+                count=count,
+                books_per_level=books_per_level,
+                levels=levels,
+            ),
+            seeds=[300 + count * 50 + rep for rep in range(repetitions)],
+        )
+        for count in counts
+    ]
+    return {
+        count: detection_success_rate(
+            [value > 0.5 for value in outcome.metric_samples("detection", "success")]
+        )
+        for count, outcome in zip(counts, run_plans(plans, service))
+    }
+
+
+def _baggage_batch_experiment(
+    rep_index: int,
+    seed: int,
+    period: TrafficPeriod,
+    bags_per_batch: int,
+    total_bags: int,
+) -> SweepExperiment:
+    """One conveyor batch of Table 3 (repetition index == batch index)."""
+    remaining = total_bags - rep_index * bags_per_batch
+    bag_count = min(bags_per_batch, remaining)
+    batch = baggage_batch(
+        period, bag_count, batch_index=rep_index, seed=period.start_hour
+    )
+    scene = standard_tag_moving_scene(batch.tags, seed=seed)
+    return build_experiment(scene)
+
+
+def _baggage_scheme_suite(experiment: SweepExperiment) -> list:
+    """The three schemes Table 3 compares."""
+    from ..baselines import GRssiScheme
+
+    return [STPPScheme(), OTrackScheme(), GRssiScheme()]
 
 
 def table3_baggage(
     periods: tuple[TrafficPeriod, ...] = PAPER_PERIODS,
     bags_per_batch: int = 15,
     batches_per_period: int = 2,
+    service: SweepService | None = None,
 ) -> dict[str, dict[str, float]]:
     """Table 3: baggage ordering accuracy per scheme and traffic period."""
-    results: dict[str, dict[str, float]] = {}
-    for period in periods:
-        batches = period_batches(
-            period,
-            bags_per_batch=bags_per_batch,
-            total_bags=bags_per_batch * batches_per_period,
-            seed=period.start_hour,
+    plans = [
+        scheme_sweep_plan(
+            name=f"table3[{period.name}]",
+            scene_factory=partial(
+                _baggage_batch_experiment,
+                period=period,
+                bags_per_batch=bags_per_batch,
+                total_bags=bags_per_batch * batches_per_period,
+            ),
+            scorer=partial(score_schemes, scheme_factory=_baggage_scheme_suite),
+            repetitions=batches_per_period,
+            seeds=[
+                batch_index + period.start_hour
+                for batch_index in range(batches_per_period)
+            ],
         )
-        per_scheme_correct: dict[str, list[float]] = {}
-        for batch in batches:
-            scene = standard_tag_moving_scene(
-                batch.tags,
-                seed=batch.batch_index + period.start_hour,
+        for period in periods
+    ]
+    results: dict[str, dict[str, float]] = {}
+    for period, outcome in zip(periods, run_plans(plans, service)):
+        for name in outcome.schemes():
+            results.setdefault(name, {})[period.name] = float(
+                np.mean(outcome.accuracy_samples(name, "accuracy_x"))
             )
-            sweep = collect_sweep(scene)
-            truth = {tag.tag_id: tag.position.x for tag in batch.tags}
-            for scheme in (STPPScheme(), OTrackScheme(), GRssiScheme()):
-                scheme_result = scheme.order(sweep.read_log, batch.tags.ids())
-                accuracy = ordering_accuracy(truth, scheme_result.x_ordering.ordered_ids)
-                per_scheme_correct.setdefault(scheme.name, []).append(accuracy)
-        for name, values in per_scheme_correct.items():
-            results.setdefault(name, {})[period.name] = float(np.mean(values))
     return results
 
 
@@ -668,94 +850,143 @@ def fig23_latency_cdf(
 # --------------------------------------------------------------------------
 
 
-def ablation_segmented_vs_full_dtw(
-    repetitions: int = 2, tag_count: int = 6, spacing_m: float = 0.08
-) -> dict[str, dict[str, float]]:
-    """Segmented DTW (w=5) vs full-sample DTW: accuracy and detection runtime."""
-    import time as _time
+def _config_ablation_plans(
+    name: str,
+    variants: "dict[str, STPPConfig]",
+    repetitions: int,
+    tag_count: int,
+    spacing_m: float,
+    seed_base: int,
+    tag_moving: bool,
+) -> list[SweepPlan]:
+    """One plan per STPPConfig variant, same layouts and seeds for each."""
+    return [
+        scheme_sweep_plan(
+            name=f"{name}[{variant}]",
+            scene_factory=partial(
+                _staircase_experiment,
+                tag_count=tag_count,
+                spacing_x_m=spacing_m,
+                spacing_y_m=spacing_m,
+                tag_moving=tag_moving,
+            ),
+            scorer=partial(score_stpp, config=config),
+            repetitions=repetitions,
+            seeds=[seed_base + rep for rep in range(repetitions)],
+        )
+        for variant, config in variants.items()
+    ]
 
+
+def ablation_segmented_vs_full_dtw(
+    repetitions: int = 2,
+    tag_count: int = 6,
+    spacing_m: float = 0.08,
+    service: SweepService | None = None,
+) -> dict[str, dict[str, float]]:
+    """Segmented DTW (w=5) vs full-sample DTW: accuracy and detection runtime.
+
+    ``runtime_s`` is the localization time (profile grouping excluded), as
+    reported by :func:`~repro.evaluation.runner.run_stpp`.
+    """
+    variants = {
+        method: STPPConfig(detection_method=method)
+        for method in ("segmented_dtw", "full_dtw", "longest_run")
+    }
+    plans = _config_ablation_plans(
+        "ablation_dtw", variants, repetitions, tag_count, spacing_m,
+        seed_base=700, tag_moving=False,
+    )
     results: dict[str, dict[str, float]] = {}
-    for method in ("segmented_dtw", "full_dtw", "longest_run"):
-        accuracies = []
-        runtimes = []
-        for rep in range(repetitions):
-            positions = staircase_layout(tag_count, spacing_m, spacing_m)
-            experiment = standard_experiment(positions, seed=700 + rep)
-            config = STPPConfig(detection_method=method)
-            started = _time.perf_counter()
-            evaluation, _ = run_stpp(experiment, config)
-            runtimes.append(_time.perf_counter() - started)
-            accuracies.append(evaluation.combined)
-        results[method] = {
-            "accuracy": float(np.mean(accuracies)),
-            "runtime_s": float(np.mean(runtimes)),
+    for variant, outcome in zip(variants, run_plans(plans, service)):
+        results[variant] = {
+            "accuracy": float(np.mean(outcome.accuracy_samples("STPP", "combined"))),
+            "runtime_s": float(np.mean(outcome.latencies("STPP"))),
         }
     return results
 
 
 def ablation_pivot_vs_all_pairs(
-    repetitions: int = 3, tag_count: int = 8, spacing_m: float = 0.08
+    repetitions: int = 3,
+    tag_count: int = 8,
+    spacing_m: float = 0.08,
+    service: SweepService | None = None,
 ) -> dict[str, dict[str, float]]:
     """Pivot-based Y ordering (M−1 comparisons) vs all-pairs comparison."""
-    results: dict[str, dict[str, float]] = {}
-    for comparison in ("pivot", "all_pairs"):
-        accuracies = []
-        for rep in range(repetitions):
-            positions = staircase_layout(tag_count, spacing_m, spacing_m)
-            experiment = standard_experiment(positions, seed=800 + rep, tag_moving=True)
-            config = STPPConfig(y_comparison=comparison)
-            evaluation, _ = run_stpp(experiment, config)
-            accuracies.append(evaluation.accuracy_y)
-        results[comparison] = {"accuracy_y": float(np.mean(accuracies))}
-    return results
+    variants = {
+        comparison: STPPConfig(y_comparison=comparison)
+        for comparison in ("pivot", "all_pairs")
+    }
+    plans = _config_ablation_plans(
+        "ablation_pivot", variants, repetitions, tag_count, spacing_m,
+        seed_base=800, tag_moving=True,
+    )
+    return {
+        variant: {"accuracy_y": float(np.mean(outcome.accuracy_samples("STPP", "accuracy_y")))}
+        for variant, outcome in zip(variants, run_plans(plans, service))
+    }
 
 
 def ablation_y_value_mode(
-    repetitions: int = 3, tag_count: int = 8, spacing_m: float = 0.08
+    repetitions: int = 3,
+    tag_count: int = 8,
+    spacing_m: float = 0.08,
+    service: SweepService | None = None,
 ) -> dict[str, dict[str, float]]:
     """Depth-based (default) vs paper-literal raw vs curvature Y comparison."""
-    results: dict[str, dict[str, float]] = {}
-    for mode in ("depth", "raw", "curvature"):
-        accuracies = []
-        for rep in range(repetitions):
-            positions = staircase_layout(tag_count, spacing_m, spacing_m)
-            experiment = standard_experiment(positions, seed=900 + rep, tag_moving=True)
-            config = STPPConfig(y_value_mode=mode)
-            evaluation, _ = run_stpp(experiment, config)
-            accuracies.append(evaluation.accuracy_y)
-        results[mode] = {"accuracy_y": float(np.mean(accuracies))}
-    return results
+    variants = {mode: STPPConfig(y_value_mode=mode) for mode in ("depth", "raw", "curvature")}
+    plans = _config_ablation_plans(
+        "ablation_y_mode", variants, repetitions, tag_count, spacing_m,
+        seed_base=900, tag_moving=True,
+    )
+    return {
+        variant: {"accuracy_y": float(np.mean(outcome.accuracy_samples("STPP", "accuracy_y")))}
+        for variant, outcome in zip(variants, run_plans(plans, service))
+    }
+
+
+def _quadratic_fitting_task(
+    rep_index: int, seed: int, tag_count: int, spacing_m: float
+) -> tuple[SchemeScore, ...]:
+    """One repetition of the quadratic-fit vs raw-minimum ablation."""
+    positions = staircase_layout(tag_count, spacing_m, spacing_m)
+    experiment = standard_experiment(positions, seed=seed)
+    profiles = profiles_from_read_log(experiment.read_log)
+    localizer = BatchLocalizer(STPPConfig())
+    result = localizer.localize(profiles, expected_tag_ids=experiment.target_ids)
+    with_fit = ordering_accuracy(experiment.true_x, result.x_ordering.ordered_ids)
+    # Raw-minimum variant: order by the time of the smallest phase sample
+    # inside each detected V-zone window, no fitting.
+    raw_bottoms = {}
+    for tag_id, vzone in result.vzones.items():
+        window = profiles[tag_id].slice_index(vzone.start_index, vzone.end_index)
+        unwrapped = np.unwrap(window.phases_rad)
+        raw_bottoms[tag_id] = float(window.timestamps_s[int(np.argmin(unwrapped))])
+    raw_order = sorted(raw_bottoms, key=lambda tid: raw_bottoms[tid])
+    without_fit = ordering_accuracy(experiment.true_x, raw_order)
+    return (
+        SchemeScore(scheme="with_quadratic_fit", metrics={"accuracy": with_fit}),
+        SchemeScore(scheme="raw_minimum", metrics={"accuracy": without_fit}),
+    )
 
 
 def ablation_quadratic_fitting(
-    repetitions: int = 3, tag_count: int = 8, spacing_m: float = 0.05
+    repetitions: int = 3,
+    tag_count: int = 8,
+    spacing_m: float = 0.05,
+    service: SweepService | None = None,
 ) -> dict[str, float]:
     """Quadratic fitting vs raw-minimum bottom picking under dropouts."""
-    with_fit: list[float] = []
-    without_fit: list[float] = []
-    for rep in range(repetitions):
-        positions = staircase_layout(tag_count, spacing_m, spacing_m)
-        experiment = standard_experiment(positions, seed=950 + rep)
-        profiles = profiles_from_read_log(experiment.read_log)
-        localizer = BatchLocalizer(STPPConfig())
-        result = localizer.localize(profiles, expected_tag_ids=experiment.target_ids)
-        with_fit.append(
-            ordering_accuracy(experiment.true_x, result.x_ordering.ordered_ids)
-        )
-        # Raw-minimum variant: order by the time of the smallest phase sample
-        # inside each detected V-zone window, no fitting.
-        raw_bottoms = {}
-        for tag_id, vzone in result.vzones.items():
-            window = profiles[tag_id].slice_index(vzone.start_index, vzone.end_index)
-            unwrapped = np.unwrap(window.phases_rad)
-            raw_bottoms[tag_id] = float(
-                window.timestamps_s[int(np.argmin(unwrapped))]
-            )
-        raw_order = sorted(raw_bottoms, key=lambda tid: raw_bottoms[tid])
-        without_fit.append(ordering_accuracy(experiment.true_x, raw_order))
+    plan = SweepPlan(
+        name="ablation_quadratic",
+        repetitions=repetitions,
+        task=partial(_quadratic_fitting_task, tag_count=tag_count, spacing_m=spacing_m),
+        seeds=[950 + rep for rep in range(repetitions)],
+    )
+    (outcome,) = run_plans([plan], service)
     return {
-        "with_quadratic_fit": float(np.mean(with_fit)),
-        "raw_minimum": float(np.mean(without_fit)),
+        variant: float(np.mean(outcome.metric_samples(variant, "accuracy")))
+        for variant in ("with_quadratic_fit", "raw_minimum")
     }
 
 
@@ -783,6 +1014,33 @@ def dtw_speedup_measurement(window_size: int = 5, seed: int = 4) -> dict[str, fl
         "speedup": full_runtime / max(segmented_runtime, 1e-9),
         "theoretical_speedup": float(window_size**2),
     }
+
+
+# --------------------------------------------------------------------------
+# Scenario extensions (beyond the paper's deployments)
+# --------------------------------------------------------------------------
+
+
+def warehouse_conveyor_accuracy(
+    repetitions: int = 3,
+    config: "ConveyorConfig | None" = None,
+    base_seed: int = 2015,
+    service: SweepService | None = None,
+) -> dict[str, dict[str, float]]:
+    """Warehouse sortation conveyor: all five schemes on multi-lane batches.
+
+    Not a paper artifact — a scenario extension: tagged cartons ride a
+    variable-speed belt past the fixed antenna in parallel lanes (see
+    :mod:`repro.workloads.warehouse`).  Seeds derive from
+    ``np.random.SeedSequence(base_seed)``; one repetition is one batch.
+    """
+    plan = warehouse_sweep_plan(
+        repetitions=repetitions,
+        config=config if config is not None else ConveyorConfig(),
+        base_seed=base_seed,
+    )
+    (outcome,) = run_plans([plan], service)
+    return {name: outcome.mean_accuracy(name) for name in outcome.schemes()}
 
 
 def summarise_boxplot(samples: dict[str, list[float]]) -> dict[str, dict[str, float]]:

@@ -41,6 +41,15 @@ def measure_scheme_latency(
     STPP: the back half of the V-zone; for OTrack: the end of the active
     window).  The computation time is measured by running the scheme
     ``repeats`` times and taking the median.
+
+    The per-tag compute share divides the batch time by the number of
+    *processed* tags (expected tags present in the read log) — not by
+    ``len(expected_tag_ids)``, which skews the share whenever the log contains
+    fewer (dropouts) or extra (non-target) tags.  One sample is still emitted
+    per expected tag, but ranks advance only through processed tags (so the
+    total attributed compute never exceeds the measured batch time): a tag
+    whose reads were lost waits for the whole pipeline to drain before its
+    absence is reported, i.e. it sees the tail plus the full batch compute.
     """
     if repeats < 1:
         raise ValueError("repeats must be >= 1")
@@ -50,18 +59,30 @@ def measure_scheme_latency(
         scheme.order(read_log, expected_tag_ids)
         durations.append(time.perf_counter() - started)
     compute_s = float(np.median(durations))
-    per_tag_compute = compute_s / max(len(expected_tag_ids), 1)
+    # Attribute the batch's compute time to the tags the scheme actually
+    # processed: the expected tags that appear in the read log (a scheme does
+    # no per-tag work for a tag it never heard, and extra non-target tags in
+    # the log do not get latency samples).  Dividing by len(expected_tag_ids)
+    # would under-state per-tag latency whenever some expected tags were never
+    # read, and a log with extra tags would not correct for it either.
+    heard = set(read_log.tag_ids())
+    processed = [tag_id for tag_id in expected_tag_ids if tag_id in heard]
+    per_tag_compute = compute_s / max(len(processed), 1)
     # A tag's order is finalised once the collection tail has elapsed and the
     # pipeline has worked through the tags ahead of it, so later tags in the
     # batch see slightly larger latencies — this is what spreads the CDF.
-    return [
-        LatencySample(
-            tag_id=tag_id,
-            latency_s=collection_tail_s + per_tag_compute * (rank + 1),
-            scheme=scheme.name,
-        )
-        for rank, tag_id in enumerate(expected_tag_ids)
-    ]
+    # Only processed tags advance the pipeline rank; an unheard tag is
+    # reported missing once the whole batch has been worked through.
+    samples = []
+    rank = 0
+    for tag_id in expected_tag_ids:
+        if tag_id in heard:
+            rank += 1
+            latency = collection_tail_s + per_tag_compute * rank
+        else:
+            latency = collection_tail_s + compute_s
+        samples.append(LatencySample(tag_id=tag_id, latency_s=latency, scheme=scheme.name))
+    return samples
 
 
 def latency_cdf(samples: list[LatencySample]) -> tuple[np.ndarray, np.ndarray]:

@@ -62,14 +62,19 @@ def ordering_accuracy(
         Ground-truth coordinate of every tag along the evaluated axis.
     predicted_order:
         Tag ids in the order the scheme reported (smallest coordinate first).
-        Tags missing from this sequence are counted as incorrect.
+        Tags missing from this sequence are counted as incorrect.  Ids that do
+        not appear in ``true_coordinates`` (e.g. a stray non-target tag a
+        scheme picked up) are ignored: ranks are computed over the ground-truth
+        tags only, so an extraneous id cannot shift every tag behind it out of
+        its correct rank.
     tolerance:
         Coordinates closer than this are considered tied.
     """
     if not true_coordinates:
         raise ValueError("true_coordinates must not be empty")
     ranges = _tie_groups(true_coordinates, tolerance)
-    predicted_rank = {tag_id: rank for rank, tag_id in enumerate(predicted_order)}
+    known_order = [tag_id for tag_id in predicted_order if tag_id in true_coordinates]
+    predicted_rank = {tag_id: rank for rank, tag_id in enumerate(known_order)}
     correct = 0
     for tag_id, (low, high) in ranges.items():
         rank = predicted_rank.get(tag_id)
@@ -81,10 +86,17 @@ def ordering_accuracy(
 def strict_ordering_accuracy(
     true_order: Sequence[str], predicted_order: Sequence[str]
 ) -> float:
-    """Eq. 2 against an explicit ground-truth order (no ties)."""
+    """Eq. 2 against an explicit ground-truth order (no ties).
+
+    Like :func:`ordering_accuracy`, predicted ids outside ``true_order`` are
+    dropped before ranking so an extraneous id cannot shift every tag behind
+    it out of its correct rank.
+    """
     if not true_order:
         raise ValueError("true_order must not be empty")
-    predicted_rank = {tag_id: rank for rank, tag_id in enumerate(predicted_order)}
+    known = set(true_order)
+    filtered = [tag_id for tag_id in predicted_order if tag_id in known]
+    predicted_rank = {tag_id: rank for rank, tag_id in enumerate(filtered)}
     correct = sum(
         1
         for rank, tag_id in enumerate(true_order)

@@ -90,6 +90,29 @@ def build_experiment(
     )
 
 
+REFERENCE_TAG_SEED_OFFSET = 9973
+"""Seed offset separating reference-tag EPCs from same-seed target tags."""
+
+
+def make_reference_tags(
+    grid: list[Point3D], seed: int | None
+) -> tuple[TagCollection, dict[str, Point3D]]:
+    """Landmarc reference tags for a deployment grid.
+
+    Returns the tags (labelled ``"ref"`` so they are recognisable in scenes
+    and read logs) and the id → known-position map the Landmarc scheme needs.
+    Shared by :func:`standard_experiment` and the warehouse conveyor workload
+    so the seeding and labelling conventions cannot diverge.
+    """
+    raw = make_tags(grid, seed=None if seed is None else seed + REFERENCE_TAG_SEED_OFFSET)
+    relabelled: list[Tag] = []
+    positions: dict[str, Point3D] = {}
+    for tag in raw:
+        relabelled.append(Tag(epc=tag.epc, position=tag.position, model=tag.model, label="ref"))
+        positions[tag.tag_id] = tag.position
+    return TagCollection(relabelled), positions
+
+
 def standard_experiment(
     positions: list[Point3D],
     seed: int = 0,
@@ -107,10 +130,9 @@ def standard_experiment(
     all_tags = TagCollection(list(target_tags.tags))
     reference_positions: dict[str, Point3D] = {}
     if reference_grid:
-        reference_tags = make_tags(reference_grid, seed=None if seed is None else seed + 9973)
+        reference_tags, reference_positions = make_reference_tags(reference_grid, seed)
         for tag in reference_tags:
-            all_tags.add(Tag(epc=tag.epc, position=tag.position, model=tag.model, label="ref"))
-            reference_positions[tag.tag_id] = tag.position
+            all_tags.add(tag)
     if tag_moving:
         scene = standard_tag_moving_scene(
             all_tags, belt_speed_mps=speed_mps, seed=seed, **scene_kwargs
@@ -122,6 +144,35 @@ def standard_experiment(
     return build_experiment(
         scene, target_tags=target_tags, reference_positions=reference_positions
     )
+
+
+def standard_scheme_suite(experiment: SweepExperiment) -> list[OrderingScheme]:
+    """Instantiate the paper's five comparison schemes for one deployment.
+
+    BackPos gets the sweep's antenna trajectory and a search region padded
+    around the target tags; Landmarc gets the experiment's reference-tag
+    deployment (it raises when the experiment has fewer reference tags than
+    its ``k``).  Module-level so sweep plans that score the full suite remain
+    picklable.
+    """
+    from ..baselines import (
+        BackPosScheme,
+        GRssiScheme,
+        LandmarcScheme,
+        OTrackScheme,
+        STPPScheme,
+    )
+
+    xs = [experiment.true_x[tid] for tid in experiment.target_ids]
+    ys = [experiment.true_y[tid] for tid in experiment.target_ids]
+    margin = 0.3
+    backpos = BackPosScheme(
+        antenna_position_at=experiment.scene.scenario.antenna_position,
+        region_min=Point3D(min(xs) - margin, min(ys) - margin, 0.0),
+        region_max=Point3D(max(xs) + margin, max(ys) + margin, 0.0),
+    )
+    landmarc = LandmarcScheme(reference_positions=experiment.reference_positions)
+    return [GRssiScheme(), OTrackScheme(), landmarc, backpos, STPPScheme()]
 
 
 def run_stpp(

@@ -26,8 +26,26 @@ class SweepResult:
     duration_s: float
 
 
-def profiles_from_read_log(read_log: ReadLog, channel_index: int = 6) -> ProfileSet:
-    """Group a read log into one phase profile per tag."""
+def profiles_from_read_log(
+    read_log: ReadLog, channel_index: int | None = None
+) -> ProfileSet:
+    """Group a read log into one phase profile per tag.
+
+    ``channel_index`` labels the resulting profiles.  When omitted it is
+    derived from the reads themselves (every :class:`~repro.rfid.reading.TagRead`
+    carries the channel it was decoded on), so profiles are labelled correctly
+    whatever channel the scene's reader used.  A log whose reads span several
+    channels has no single per-profile channel; pass ``channel_index``
+    explicitly in that case.
+    """
+    if channel_index is None:
+        seen = {read.channel_index for read in read_log}
+        if len(seen) > 1:
+            raise ValueError(
+                "read log spans multiple reader channels "
+                f"({sorted(seen)}); pass channel_index explicitly"
+            )
+        channel_index = seen.pop() if seen else None
     profile_set = ProfileSet()
     for tag_id in read_log.tag_ids():
         reads = read_log.for_tag(tag_id)

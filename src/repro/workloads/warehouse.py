@@ -1,0 +1,285 @@
+"""Warehouse case study: multi-lane conveyor sortation (scenario extension).
+
+A sortation conveyor in a fulfilment warehouse carries tagged cartons past a
+fixed reader antenna in **multiple parallel lanes**.  Downstream diverters
+need to know, per lane, which carton arrives first — exactly the relative
+ordering problem STPP solves — and across lanes, which lane a carton travels
+in (the Y axis).  Unlike the airport belt (:mod:`repro.workloads.airport`),
+the belt speed here is **variable**: accumulation zones and merge gates
+upstream make the belt surge and crawl, which stretches and compresses the
+phase profiles — the situation STPP's DTW matching is designed for.
+
+The geometry mirrors the paper's tag-moving equivalence (§1.3): the antenna
+is static, every carton translates along −X with the *same* time-varying belt
+motion (a :func:`~repro.motion.speed_profiles.jittered_speed_profile`), so
+the relative carton geometry is preserved and, in the antenna's frame, the
+sweep looks like an antenna moving at the belt's (variable) speed.
+
+The workload plugs into the sharded experiment engine: use
+:func:`conveyor_experiment` as a :class:`~repro.evaluation.sweep.SweepPlan`
+scene factory, or :func:`warehouse_sweep_plan` for the ready-made plan scored
+by all five baseline schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..motion.scenarios import SweepScenario
+from ..motion.speed_profiles import ConstantSpeedProfile, jittered_speed_profile
+from ..rf.geometry import Point3D
+from ..rfid.aloha import FrameSlottedAloha
+from ..rfid.tag import TagCollection, make_tags
+from ..simulation.presets import SweepGeometry, standard_reader_config
+from ..simulation.scene import Scene
+
+NOMINAL_BELT_SPEED_MPS = 0.3
+"""Nominal sortation-belt speed; matches the micro-benchmark sweep speed."""
+
+
+@dataclass(frozen=True, slots=True)
+class ConveyorConfig:
+    """Parameters of one sortation-conveyor deployment."""
+
+    lanes: int = 3
+    """Parallel lanes on the belt."""
+
+    lane_pitch_m: float = 0.15
+    """Centre-to-centre lane separation (the Y-axis signal)."""
+
+    cartons_per_lane: int = 4
+    """Cartons per lane in one batch."""
+
+    min_gap_m: float = 0.06
+    max_gap_m: float = 0.25
+    """Range of gaps between consecutive cartons within a lane."""
+
+    nominal_speed_mps: float = NOMINAL_BELT_SPEED_MPS
+    """Average belt speed."""
+
+    speed_jitter_fraction: float = 0.15
+    """Belt speed variability (0 = constant belt); redrawn every ~0.8 s."""
+
+    lateral_jitter_m: float = 0.03
+    """How far a carton's tag may sit off its lane centre."""
+
+    def __post_init__(self) -> None:
+        if self.lanes < 1:
+            raise ValueError(f"need at least one lane, got {self.lanes}")
+        if self.cartons_per_lane < 1:
+            raise ValueError(f"need at least one carton per lane, got {self.cartons_per_lane}")
+        if self.lane_pitch_m <= 0:
+            raise ValueError(f"lane pitch must be positive, got {self.lane_pitch_m}")
+        if not 0 < self.min_gap_m <= self.max_gap_m:
+            raise ValueError(
+                f"need 0 < min_gap <= max_gap, got [{self.min_gap_m}, {self.max_gap_m}]"
+            )
+        if self.nominal_speed_mps <= 0:
+            raise ValueError(f"belt speed must be positive, got {self.nominal_speed_mps}")
+        if not 0.0 <= self.speed_jitter_fraction < 1.0:
+            raise ValueError(
+                f"speed jitter must be in [0, 1), got {self.speed_jitter_fraction}"
+            )
+        if self.lateral_jitter_m < 0 or self.lateral_jitter_m >= self.lane_pitch_m / 2.0:
+            raise ValueError("lateral jitter must be non-negative and below half the lane pitch")
+
+    @property
+    def carton_count(self) -> int:
+        """Total cartons in one batch."""
+        return self.lanes * self.cartons_per_lane
+
+
+@dataclass(frozen=True)
+class ConveyorBatch:
+    """One batch of cartons riding the belt together."""
+
+    tags: TagCollection
+    config: ConveyorConfig
+    batch_index: int
+
+    def ground_truth_order(self) -> list[str]:
+        """Carton order along the belt (increasing X = order of arrival)."""
+        return self.tags.order_along("x")
+
+    def lane_of(self, tag_id: str) -> int:
+        """Lane index of one carton (encoded in its label at generation)."""
+        for tag in self.tags:
+            if tag.tag_id == tag_id:
+                return int(tag.label.split("-")[2])
+        raise KeyError(tag_id)
+
+
+def conveyor_batch(
+    config: ConveyorConfig = ConveyorConfig(),
+    batch_index: int = 0,
+    seed: int | None = None,
+) -> ConveyorBatch:
+    """Generate one multi-lane batch of tagged cartons.
+
+    Within each lane, consecutive cartons are separated by gaps drawn from the
+    config's range; each carton's tag sits near (not exactly on) its lane
+    centre.  Labels encode ``CART-<batch>-<lane>-<position>`` so ground truth
+    is recoverable from the label alone.
+    """
+    rng = np.random.default_rng(None if seed is None else seed + batch_index)
+    positions: list[Point3D] = []
+    labels: list[str] = []
+    for lane in range(config.lanes):
+        gaps = rng.uniform(
+            config.min_gap_m, config.max_gap_m, size=config.cartons_per_lane - 1
+        )
+        xs = np.concatenate([[0.0], np.cumsum(gaps)])
+        # Lanes are staggered: cartons in different lanes rarely align.
+        xs = xs + rng.uniform(0.0, config.max_gap_m)
+        lateral = rng.uniform(
+            -config.lateral_jitter_m, config.lateral_jitter_m, size=config.cartons_per_lane
+        )
+        for position_index, (x, dy) in enumerate(zip(xs, lateral)):
+            positions.append(
+                Point3D(float(x), lane * config.lane_pitch_m + float(dy), 0.0)
+            )
+            labels.append(f"CART-{batch_index:03d}-{lane}-{position_index:03d}")
+    tags = make_tags(positions, labels=labels, seed=seed)
+    return ConveyorBatch(tags=tags, config=config, batch_index=batch_index)
+
+
+def conveyor_scenario(
+    batch: ConveyorBatch,
+    geometry: SweepGeometry = SweepGeometry(),
+    rng: np.random.Generator | None = None,
+) -> SweepScenario:
+    """The belt motion: static antenna, cartons translate along −X together.
+
+    With ``speed_jitter_fraction > 0`` the belt follows a
+    :func:`~repro.motion.speed_profiles.jittered_speed_profile` — all cartons
+    share the one profile, so their relative geometry is preserved (the
+    precondition of the paper's tag-moving equivalence) while the phase
+    profiles get stretched/compressed over time.
+    """
+    config = batch.config
+    xs = [tag.position.x for tag in batch.tags]
+    ys = [tag.position.y for tag in batch.tags]
+    antenna_y = min(ys) - geometry.antenna_clearance_m
+    span = (max(xs) - min(xs)) + 2.0 * geometry.sweep_margin_m
+    antenna_pos = Point3D(
+        min(xs) - geometry.sweep_margin_m, antenna_y, geometry.standoff_m
+    )
+    nominal_duration = span / config.nominal_speed_mps + 1.0
+    if config.speed_jitter_fraction > 0:
+        # The jittered profile's speed is bounded below at 0.3x nominal, so
+        # stretching the schedule by the reciprocal guarantees the slowest
+        # possible belt still carries every carton past the antenna.
+        profile = jittered_speed_profile(
+            config.nominal_speed_mps,
+            nominal_duration / 0.3,
+            jitter_fraction=config.speed_jitter_fraction,
+            rng=rng if rng is not None else np.random.default_rng(),
+        )
+        duration = profile.time_to_cover(span) + 1.0
+    else:
+        profile = ConstantSpeedProfile(config.nominal_speed_mps)
+        duration = nominal_duration
+    starts = {tag.tag_id: tag.position for tag in batch.tags}
+
+    def tag_position(tag_id: str, time_s: float) -> Point3D:
+        start = starts[tag_id]
+        return Point3D(start.x - profile.distance_at(time_s), start.y, start.z)
+
+    def static_antenna(_time_s: float) -> Point3D:
+        return antenna_pos
+
+    return SweepScenario(
+        antenna_position=static_antenna,
+        tag_position=tag_position,
+        duration_s=duration,
+        description=f"warehouse conveyor, {config.lanes} lanes",
+    )
+
+
+def conveyor_scene(
+    batch: ConveyorBatch,
+    seed: int | None = None,
+    geometry: SweepGeometry = SweepGeometry(),
+    extra_tags: TagCollection | None = None,
+) -> Scene:
+    """Simulation scene for one conveyor batch.
+
+    ``extra_tags`` (e.g. Landmarc reference tags riding the belt) join the
+    sweep; they move with the same belt profile as the cartons.
+    """
+    all_tags = TagCollection(list(batch.tags.tags))
+    if extra_tags is not None:
+        for tag in extra_tags:
+            all_tags.add(tag)
+    rng = np.random.default_rng(seed)
+    combined = ConveyorBatch(tags=all_tags, config=batch.config, batch_index=batch.batch_index)
+    scenario = conveyor_scenario(combined, geometry=geometry, rng=rng)
+    reader_config = standard_reader_config(all_tags, seed=seed)
+    return Scene(
+        tags=all_tags,
+        scenario=scenario,
+        reader_config=reader_config,
+        protocol=FrameSlottedAloha(),
+        seed=None if seed is None else seed + 1,
+        description=scenario.description,
+    )
+
+
+def conveyor_experiment(
+    rep_index: int,
+    seed: int,
+    config: ConveyorConfig = ConveyorConfig(),
+    reference_spacing_m: float = 0.30,
+):
+    """Sweep-plan scene factory: one scored conveyor batch per repetition.
+
+    Adds a sparse grid of Landmarc reference tags around the carton footprint
+    (they ride the belt with the cartons, so their relative geometry — which
+    is what a single-antenna Landmarc adaptation compares — is preserved).
+    Module-level and picklable, as the sweep engine requires.
+    """
+    from ..evaluation.runner import build_experiment, make_reference_tags
+    from .layouts import reference_tag_grid
+
+    batch = conveyor_batch(config, batch_index=rep_index, seed=seed)
+    xs = [tag.position.x for tag in batch.tags]
+    ys = [tag.position.y for tag in batch.tags]
+    grid = reference_tag_grid(
+        max(xs) - min(xs) + 0.2,
+        max(ys) - min(ys) + 0.2,
+        spacing_m=reference_spacing_m,
+        origin=Point3D(min(xs) - 0.1, min(ys) - 0.1, 0.0),
+    )
+    reference_tags, reference_positions = make_reference_tags(grid, seed)
+    scene = conveyor_scene(batch, seed=seed, extra_tags=reference_tags)
+    return build_experiment(
+        scene, target_tags=batch.tags, reference_positions=reference_positions
+    )
+
+
+def warehouse_sweep_plan(
+    repetitions: int = 3,
+    config: ConveyorConfig = ConveyorConfig(),
+    base_seed: int = 2015,
+    name: str = "warehouse",
+):
+    """The ready-made engine plan: conveyor batches scored by all five schemes.
+
+    Seeds derive from ``np.random.SeedSequence(base_seed)`` (the engine's
+    default derivation); pass the plan to a
+    :class:`~repro.evaluation.sweep.SweepService` to run it sharded.
+    """
+    from functools import partial
+
+    from ..evaluation.runner import standard_scheme_suite
+    from ..evaluation.sweep import scheme_sweep_plan, score_schemes
+
+    return scheme_sweep_plan(
+        name=name,
+        scene_factory=partial(conveyor_experiment, config=config),
+        scorer=partial(score_schemes, scheme_factory=standard_scheme_suite),
+        repetitions=repetitions,
+        base_seed=base_seed,
+    )

@@ -11,6 +11,7 @@ from repro.baselines import (
     STPPScheme,
 )
 from repro.evaluation.metrics import (
+    _tie_groups,
     detection_success_rate,
     evaluate_ordering,
     ordering_accuracy,
@@ -40,6 +41,42 @@ class TestMetrics:
     def test_missing_tags_count_as_wrong(self):
         true = {"a": 0.0, "b": 1.0, "c": 2.0}
         assert ordering_accuracy(true, ["a", "b"]) == pytest.approx(2.0 / 3.0)
+
+    def test_extraneous_predicted_ids_ignored(self):
+        # Regression: a stray non-target id in the predicted order used to
+        # inflate the ranks of every tag after it, flagging them all wrong.
+        true = {"a": 0.0, "b": 1.0, "c": 2.0}
+        assert ordering_accuracy(true, ["a", "stray", "b", "c"]) == pytest.approx(1.0)
+        assert ordering_accuracy(true, ["x", "y", "a", "b", "c"]) == pytest.approx(1.0)
+        # A genuine misordering still scores against the filtered ranks.
+        assert ordering_accuracy(true, ["stray", "b", "a", "c"]) == pytest.approx(1.0 / 3.0)
+        # The strict (explicit-order) variant filters the same way.
+        assert strict_ordering_accuracy(["a", "b", "c"], ["stray", "a", "b", "c"]) == pytest.approx(1.0)
+        assert strict_ordering_accuracy(["a", "b", "c"], ["b", "stray", "a", "c"]) == pytest.approx(1.0 / 3.0)
+
+    def test_tie_groups_chained_near_tolerance(self):
+        # Groups are anchored at their first (smallest) member: a chain whose
+        # adjacent gaps are sub-tolerance but whose ends are farther apart
+        # than the tolerance splits where the distance to the anchor exceeds
+        # the tolerance, so tie groups cannot grow without bound.
+        tol = 1e-3
+        true = {"a": 0.0, "b": 0.8e-3, "c": 1.6e-3, "d": 2.4e-3}
+        groups = _tie_groups(true, tol)
+        assert groups["a"] == (0, 1)
+        assert groups["b"] == (0, 1)
+        assert groups["c"] == (2, 3)
+        assert groups["d"] == (2, 3)
+        # Within-group swaps are correct, cross-group swaps are not.
+        assert ordering_accuracy(true, ["b", "a", "d", "c"], tolerance=tol) == pytest.approx(1.0)
+        assert ordering_accuracy(true, ["c", "d", "a", "b"], tolerance=tol) == pytest.approx(0.0)
+
+    def test_tie_groups_all_tied_layout(self):
+        # A shelf level: every tag shares one coordinate -> one group spanning
+        # every rank, so any permutation is fully correct.
+        true = {f"t{i}": 5.0 for i in range(6)}
+        groups = _tie_groups(true, 1e-6)
+        assert set(groups.values()) == {(0, 5)}
+        assert ordering_accuracy(true, ["t3", "t0", "t5", "t1", "t4", "t2"]) == pytest.approx(1.0)
 
     def test_pairwise_accuracy(self):
         true = {"a": 0.0, "b": 1.0, "c": 2.0}

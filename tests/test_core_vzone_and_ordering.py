@@ -17,8 +17,9 @@ from repro.core.ordering_y import (
 )
 from repro.core.phase_profile import PhaseProfile
 from repro.core.reference import canonical_reference, reference_profile
+from repro.core.fitting import QuadraticFit
 from repro.core.segmentation import coarse_representation
-from repro.core.vzone import VZoneDetector
+from repro.core.vzone import VZone, VZoneDetector
 from repro.rf.constants import TWO_PI, channel_wavelength_m
 
 
@@ -160,6 +161,68 @@ class TestVZoneDetection:
     def test_invalid_method_rejected(self):
         with pytest.raises(ValueError):
             VZoneDetector(method="nonsense")
+
+
+def _vzone_with_fit(valid: bool, tag_id: str = "t", residual: float = 0.1) -> VZone:
+    """A minimal VZone whose fit validity drives _better_of selection."""
+    fit = QuadraticFit(
+        curvature=5.0,
+        bottom_time_s=2.0,
+        bottom_phase_rad=0.5,
+        residual_rms_rad=residual,
+        sample_count=30,
+        valid=valid,
+    )
+    return VZone(
+        tag_id=tag_id,
+        start_index=10,
+        end_index=40,
+        start_time_s=1.5,
+        end_time_s=2.5,
+        fit=fit,
+        method="segmented_dtw",
+    )
+
+
+class TestBetterOf:
+    """Fallback selection between the primary detection and longest-run."""
+
+    def test_missing_primary_falls_back(self):
+        secondary = _vzone_with_fit(valid=True)
+        assert VZoneDetector._better_of(None, secondary) is secondary
+
+    def test_missing_secondary_keeps_primary(self):
+        primary = _vzone_with_fit(valid=False)
+        assert VZoneDetector._better_of(primary, None) is primary
+
+    def test_both_missing(self):
+        assert VZoneDetector._better_of(None, None) is None
+
+    def test_invalid_primary_loses_to_valid_fallback(self):
+        primary = _vzone_with_fit(valid=False)
+        secondary = _vzone_with_fit(valid=True)
+        assert VZoneDetector._better_of(primary, secondary) is secondary
+
+    def test_valid_primary_beats_valid_fallback(self):
+        # Residuals are NOT compared across windows of different widths: a
+        # valid primary wins even when the fallback fits more tightly.
+        primary = _vzone_with_fit(valid=True, residual=0.5)
+        secondary = _vzone_with_fit(valid=True, residual=0.01)
+        assert VZoneDetector._better_of(primary, secondary) is primary
+
+    def test_both_invalid_keeps_primary(self):
+        primary = _vzone_with_fit(valid=False)
+        secondary = _vzone_with_fit(valid=False)
+        assert VZoneDetector._better_of(primary, secondary) is primary
+
+    def test_detect_applies_fallback_on_degenerate_primary(self):
+        # End-to-end: with fallback enabled, detection on a clean V never
+        # returns an invalid fit when the longest-run fallback finds a valid
+        # one — the selection rule above is what detect() relies on.
+        profile = synthetic_profile(2.0, 0.35)
+        vzone = VZoneDetector(method="segmented_dtw", fallback_to_longest_run=True).detect(profile)
+        assert vzone is not None
+        assert vzone.fit.valid
 
 
 class TestOrderingX:

@@ -73,6 +73,41 @@ class TestLatency:
                 GRssiScheme(), row_experiment.read_log, row_experiment.target_ids, repeats=0
             )
 
+    def test_per_tag_share_divides_by_processed_tags(self, monkeypatch):
+        # Regression: the per-tag compute share must divide by the tags the
+        # scheme actually processed (expected AND present in the log), not by
+        # len(expected_tag_ids).  Two of four expected tags appear in the log,
+        # so with a fake 0.5-second batch compute time the per-tag share is
+        # 0.25 s (the old divisor of 4 would have given 0.125 s).
+        import repro.evaluation.latency as latency_module
+        from repro.rfid.reading import ReadLog, TagRead
+
+        class FakeTime:
+            def __init__(self):
+                self.now = 0.0
+
+            def perf_counter(self):
+                self.now += 0.5
+                return self.now
+
+        monkeypatch.setattr(latency_module, "time", FakeTime())
+        log = ReadLog(
+            [
+                TagRead(0.0, "a", 1.0, -50.0),
+                TagRead(0.1, "b", 1.1, -51.0),
+            ]
+        )
+        samples = measure_scheme_latency(
+            GRssiScheme(), log, ["a", "b", "c", "d"], collection_tail_s=1.0, repeats=1
+        )
+        assert len(samples) == 4
+        # perf_counter() advances 0.5 s per call -> one timed run == 0.5 s.
+        # a and b are processed (ranks 1 and 2 at 0.25 s each); c and d were
+        # never heard, so each waits out the tail plus the full batch compute.
+        assert [s.latency_s for s in samples] == pytest.approx([1.25, 1.5, 1.5, 1.5])
+        # Attributed compute never exceeds the measured batch time.
+        assert max(s.latency_s for s in samples) <= 1.0 + 0.5 + 1e-9
+
 
 class TestReporting:
     def test_format_table_alignment(self):

@@ -144,6 +144,32 @@ class TestSceneAndCollector:
         for tag_id in sweep.profiles.tag_ids():
             assert len(rebuilt[tag_id]) == len(sweep.profiles[tag_id])
 
+    def test_profiles_derive_channel_from_reads(self):
+        # Regression: the old channel_index=6 default mislabelled profiles
+        # whenever the scene's reader used a different channel; the channel is
+        # now read off the log itself.
+        from repro.rfid.reading import ReadLog, TagRead
+
+        log = ReadLog([TagRead(0.1 * i, "a", 1.0, -50.0, channel_index=11) for i in range(4)])
+        profiles = profiles_from_read_log(log)
+        assert profiles["a"].channel_index == 11
+        # An explicit override still wins.
+        assert profiles_from_read_log(log, channel_index=3)["a"].channel_index == 3
+
+    def test_profiles_reject_mixed_channel_log(self):
+        from repro.rfid.reading import ReadLog, TagRead
+
+        log = ReadLog(
+            [
+                TagRead(0.0, "a", 1.0, -50.0, channel_index=6),
+                TagRead(0.1, "a", 1.1, -50.0, channel_index=7),
+            ]
+        )
+        with pytest.raises(ValueError, match="multiple reader channels"):
+            profiles_from_read_log(log)
+        # Explicit channel resolves the ambiguity.
+        assert profiles_from_read_log(log, channel_index=6)["a"].channel_index == 6
+
     def test_standard_scene_geometry(self):
         tags = make_tags([Point3D(0, 0, 0), Point3D(0.5, 0.1, 0)], seed=0)
         geometry = SweepGeometry()
