@@ -8,14 +8,20 @@
 #   make bench-dtw    time the DTW kernels (python-loop vs vectorized vs
 #                     batched) and write BENCH_dtw.json
 #   make bench-experiments
-#                     time the experiment engine serial vs sharded and write
+#                     time the experiment engine serial vs sharded (with a
+#                     simulate/localize/metrics stage breakdown) and write
 #                     BENCH_experiments.json
+#   make bench-sweep  time the sweep simulation batched vs scalar and write
+#                     BENCH_sweep.json
+#   make check-speedups
+#                     assert floors on the speedups recorded in BENCH_*.json
 #   make examples     run the runnable examples
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
-.PHONY: test unit bench-smoke bench-dtw bench-experiments examples
+.PHONY: test unit bench-smoke bench-dtw bench-experiments bench-sweep \
+	check-speedups examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +40,12 @@ bench-dtw:
 
 bench-experiments:
 	$(PYTHON) benchmarks/bench_experiments.py
+
+bench-sweep:
+	$(PYTHON) benchmarks/bench_sweep.py
+
+check-speedups:
+	$(PYTHON) benchmarks/check_speedups.py
 
 examples:
 	$(PYTHON) examples/quickstart.py

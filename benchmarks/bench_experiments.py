@@ -12,10 +12,13 @@ per spacing, STPP scored on each) through the
 
 Both paths execute the identical shard function with identical per-repetition
 seeds, so the results are bit-identical (asserted here); only the wall clock
-differs.  The measured times, the speed-up, and the machine's core count are
-written to ``BENCH_experiments.json`` so the scaling trajectory is tracked PR
-over PR.  On a single-core runner the sharded path degenerates to pool
-overhead; the JSON records ``cpu_count`` so readers can tell.
+differs.  The measured times, the speed-up, a per-stage breakdown of the
+serial pass (simulate vs localize vs metrics), and the machine's core count
+are written to ``BENCH_experiments.json`` so the scaling trajectory is
+tracked PR over PR.  On a single-core runner the sharded path degenerates to
+pool overhead, so the serial-vs-sharded comparison is explicitly flagged
+**inconclusive** (``sharded_comparison_conclusive: false``) rather than
+reporting a meaningless sub-1x "speedup".
 
 Run with:
   PYTHONPATH=src python benchmarks/bench_experiments.py [--repetitions 8] [--out BENCH_experiments.json]
@@ -32,10 +35,30 @@ from datetime import datetime, timezone
 from functools import partial
 from pathlib import Path
 
+from repro.core.localizer import BatchLocalizer, STPPConfig
 from repro.evaluation.experiments import _staircase_experiment
+from repro.evaluation.metrics import evaluate_ordering
 from repro.evaluation.sweep import SweepService, scheme_sweep_plan, score_stpp
+from repro.simulation.collector import profiles_from_read_log
 
 SPACINGS_M = (0.04, 0.06, 0.08, 0.10)
+
+
+def spacing_factories():
+    """(spacing, scene factory) pairs — the single source of the workload."""
+    return [
+        (
+            spacing,
+            partial(
+                _staircase_experiment,
+                tag_count=8,
+                spacing_x_m=spacing,
+                spacing_y_m=spacing,
+                tag_moving=False,
+            ),
+        )
+        for spacing in SPACINGS_M
+    ]
 
 
 def spacing_sweep_plans(repetitions: int):
@@ -43,19 +66,56 @@ def spacing_sweep_plans(repetitions: int):
     return [
         scheme_sweep_plan(
             name=f"bench_spacing[{spacing}]",
-            scene_factory=partial(
-                _staircase_experiment,
-                tag_count=8,
-                spacing_x_m=spacing,
-                spacing_y_m=spacing,
-                tag_moving=False,
-            ),
+            scene_factory=factory,
             scorer=score_stpp,
             repetitions=repetitions,
             base_seed=int(spacing * 1000),
         )
-        for spacing in SPACINGS_M
+        for spacing, factory in spacing_factories()
     ]
+
+
+def stage_breakdown(repetitions: int) -> dict:
+    """Per-stage serial timing: where does one repetition's time actually go?
+
+    Runs the same (rep_index, seed) workload the plans describe, but with the
+    three stages of a repetition timed separately:
+
+    * ``simulate`` — build the scene and run the RFID sweep simulation;
+    * ``localize`` — extract phase profiles and run the batched STPP engine;
+    * ``metrics``  — score the predicted orderings against ground truth.
+    """
+    simulate_s = localize_s = metrics_s = 0.0
+    factories = spacing_factories()
+    plans = spacing_sweep_plans(repetitions)
+    for (_, factory), plan in zip(factories, plans):
+        for rep_index, seed in enumerate(plan.resolved_seeds()):
+            started = time.perf_counter()
+            experiment = factory(rep_index, seed)
+            simulated = time.perf_counter()
+            localizer = BatchLocalizer(STPPConfig())
+            profiles = profiles_from_read_log(experiment.read_log)
+            result = localizer.localize(
+                profiles, expected_tag_ids=experiment.target_ids
+            )
+            localized = time.perf_counter()
+            evaluate_ordering(
+                experiment.true_x,
+                experiment.true_y,
+                result.x_ordering.ordered_ids,
+                result.y_ordering.ordered_ids,
+            )
+            scored = time.perf_counter()
+            simulate_s += simulated - started
+            localize_s += localized - simulated
+            metrics_s += scored - localized
+    total = simulate_s + localize_s + metrics_s
+    return {
+        "simulate": simulate_s,
+        "localize": localize_s,
+        "metrics": metrics_s,
+        "total": total,
+    }
 
 
 def run_once(service: SweepService, repetitions: int):
@@ -106,7 +166,20 @@ def main() -> None:
     print("serial/sharded results: bit-identical")
 
     speedup = serial_s / max(sharded_s, 1e-9)
-    print(f"speedup: {speedup:8.2f} x")
+    conclusive = cpu_count > 1
+    if conclusive:
+        print(f"speedup: {speedup:8.2f} x")
+    else:
+        print(
+            f"speedup: {speedup:8.2f} x  "
+            "[INCONCLUSIVE: single-core host — the sharded path can only add "
+            "pool overhead here]"
+        )
+
+    stages = stage_breakdown(args.repetitions)
+    for stage in ("simulate", "localize", "metrics"):
+        share = stages[stage] / max(stages["total"], 1e-9)
+        print(f"stage {stage:>8}: {stages[stage]:8.2f} s  ({share:5.1%})")
 
     payload = {
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -122,8 +195,10 @@ def main() -> None:
             "serial": serial_s,
             "sharded": sharded_s,
         },
+        "stage_breakdown_s": stages,
         "sharded_workers": cpu_count,
         "speedup_sharded_vs_serial": speedup,
+        "sharded_comparison_conclusive": conclusive,
         "results_bit_identical": True,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,142 @@
+"""Assert floors on the speedup fields recorded in the ``BENCH_*.json`` files.
+
+CI runs this after the benchmark passes so a regression that erodes an
+engine's recorded win fails the build instead of silently shipping:
+
+* ``BENCH_sweep.json``        — the round-batched RF sweep kernel must beat
+                                the scalar per-read path on the static scene;
+* ``BENCH_dtw.json``          — the batched DTW engine must beat the seed's
+                                pure-Python per-tag loop;
+* ``BENCH_experiments.json``  — the sharded experiment engine must beat the
+                                serial path, but only when the file says the
+                                comparison is conclusive (on a single-core
+                                host sharding can only add pool overhead, so
+                                the recorded ratio is not a regression
+                                signal).
+
+Every file also has to carry ``results_bit_identical: true`` where the field
+exists: a speedup from an engine that changed the results is not a speedup.
+
+Run with:
+  python benchmarks/check_speedups.py [--only sweep] [--sweep-floor 5.0] ...
+
+Missing files are skipped with a note (each benchmark is recorded by its own
+``make bench-*`` target), so the check degrades gracefully on fresh clones.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+FAILURES: list[str] = []
+
+
+def _load(path: Path) -> dict | None:
+    if not path.exists():
+        print(f"  skip: {path} not found")
+        return None
+    return json.loads(path.read_text())
+
+
+def _require(condition: bool, message: str) -> None:
+    if condition:
+        print(f"  ok:   {message}")
+    else:
+        print(f"  FAIL: {message}")
+        FAILURES.append(message)
+
+
+def check_sweep(path: Path, floor: float) -> None:
+    print(f"sweep kernel ({path}):")
+    payload = _load(path)
+    if payload is None:
+        return
+    static = payload["scenes"]["static"]
+    speedup = float(static["speedup_batched_vs_scalar"])
+    _require(
+        speedup >= floor,
+        f"static-scene batched-vs-scalar speedup {speedup:.2f}x >= {floor}x",
+    )
+    for scene_name, scene in payload["scenes"].items():
+        _require(
+            bool(scene.get("results_bit_identical")),
+            f"{scene_name} scene: batched and scalar logs bit-identical",
+        )
+
+
+def check_dtw(path: Path, floor: float) -> None:
+    print(f"DTW engine ({path}):")
+    payload = _load(path)
+    if payload is None:
+        return
+    speedup = float(payload["speedup_vs_python_loop"]["batched"])
+    _require(
+        speedup >= floor,
+        f"batched-vs-python-loop speedup {speedup:.2f}x >= {floor}x",
+    )
+
+
+def check_experiments(path: Path, floor: float) -> None:
+    print(f"experiment engine ({path}):")
+    payload = _load(path)
+    if payload is None:
+        return
+    _require(
+        bool(payload.get("results_bit_identical")),
+        "serial and sharded results bit-identical",
+    )
+    if not payload.get("sharded_comparison_conclusive", payload.get("cpu_count", 1) > 1):
+        print(
+            "  skip: sharded-vs-serial comparison recorded as inconclusive "
+            f"(cpu_count={payload.get('cpu_count')}) — no floor applied"
+        )
+        return
+    speedup = float(payload["speedup_sharded_vs_serial"])
+    _require(
+        speedup >= floor,
+        f"sharded-vs-serial speedup {speedup:.2f}x >= {floor}x",
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sweep", type=Path, default=Path("BENCH_sweep.json"))
+    parser.add_argument("--dtw", type=Path, default=Path("BENCH_dtw.json"))
+    parser.add_argument(
+        "--experiments", type=Path, default=Path("BENCH_experiments.json")
+    )
+    parser.add_argument(
+        "--sweep-floor", type=float, default=5.0,
+        help="minimum static-scene sweep speedup (default 5.0; the acceptance "
+        "floor for the recorded 200-tag scene — smoke runs pass a lower one)",
+    )
+    parser.add_argument("--dtw-floor", type=float, default=5.0)
+    parser.add_argument(
+        "--experiments-floor", type=float, default=1.0,
+        help="minimum sharded speedup, applied only when the record says the "
+        "comparison is conclusive (multi-core host)",
+    )
+    parser.add_argument(
+        "--only", choices=("sweep", "dtw", "experiments"), default=None,
+        help="check a single record instead of all three",
+    )
+    args = parser.parse_args()
+
+    if args.only in (None, "sweep"):
+        check_sweep(args.sweep, args.sweep_floor)
+    if args.only in (None, "dtw"):
+        check_dtw(args.dtw, args.dtw_floor)
+    if args.only in (None, "experiments"):
+        check_experiments(args.experiments, args.experiments_floor)
+
+    if FAILURES:
+        print(f"\n{len(FAILURES)} speedup floor(s) violated")
+        sys.exit(1)
+    print("\nall recorded speedups at or above their floors")
+
+
+if __name__ == "__main__":
+    main()

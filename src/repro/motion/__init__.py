@@ -1,7 +1,12 @@
 """Mobility substrate: speed profiles, trajectories, and sweep scenarios."""
 
 from .scenarios import (
+    BeltTagPositions,
+    ConstantVelocityTagPositions,
+    StaticAntennaPosition,
+    StaticTagPositions,
     SweepScenario,
+    TrajectoryAntennaPosition,
     antenna_moving_scenario,
     equivalent_antenna_motion,
     tag_moving_scenario,
@@ -15,11 +20,16 @@ from .speed_profiles import (
 from .trajectory import LinearTrajectory, WaypointTrajectory
 
 __all__ = [
+    "BeltTagPositions",
     "ConstantSpeedProfile",
+    "ConstantVelocityTagPositions",
     "LinearTrajectory",
     "PiecewiseSpeedProfile",
     "SpeedProfile",
+    "StaticAntennaPosition",
+    "StaticTagPositions",
     "SweepScenario",
+    "TrajectoryAntennaPosition",
     "WaypointTrajectory",
     "antenna_moving_scenario",
     "equivalent_antenna_motion",

@@ -15,13 +15,175 @@ actually moves.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
 
 from ..rf.geometry import Point3D
 from .trajectory import LinearTrajectory
 
 AntennaPositionFn = Callable[[float], Point3D]
 TagPositionFn = Callable[[str, float], Point3D]
+
+
+# ---------------------------------------------------------------------------
+# Array-native position providers
+#
+# The reader simulator accepts plain callables, but its batched sweep path
+# sniffs for the richer interface below (``positions_at`` / ``is_static``) to
+# evaluate whole rounds of geometry in one NumPy pass instead of constructing
+# a ``Point3D`` per (tag, time) query.  Every provider's ``__call__`` and
+# ``positions_at`` evaluate the identical arithmetic elementwise, so the
+# scalar and batched sweeps observe bit-identical positions.
+# ---------------------------------------------------------------------------
+
+
+class StaticAntennaPosition:
+    """An antenna that never moves (the conveyor-belt case)."""
+
+    def __init__(self, position: Point3D) -> None:
+        self.position = position
+        self._row = position.as_array()
+
+    def __call__(self, _time_s: float) -> Point3D:
+        return self.position
+
+    def positions_at(self, times_s: np.ndarray) -> np.ndarray:
+        """The fixed position broadcast to ``(T, 3)``."""
+        times = np.asarray(times_s, dtype=float)
+        return np.broadcast_to(self._row, (times.size, 3))
+
+
+class TrajectoryAntennaPosition:
+    """Antenna motion along a trajectory, with vectorized sampling."""
+
+    def __init__(self, trajectory) -> None:
+        self.trajectory = trajectory
+
+    def __call__(self, time_s: float) -> Point3D:
+        return self.trajectory.position(time_s)
+
+    def positions_at(self, times_s: np.ndarray) -> np.ndarray:
+        """Positions at each time as ``(T, 3)`` (see trajectory.positions_at)."""
+        return self.trajectory.positions_at(times_s)
+
+
+class _TagPositionsBase:
+    """Shared id-indexing for the tag-position providers."""
+
+    def __init__(self, positions: Mapping[str, Point3D]) -> None:
+        self._positions = dict(positions)
+        # Single-slot cache: the hot callers (the reader's per-round queries)
+        # repeat one id tuple — usually the full population — every round.
+        # A dict keyed by id tuple would grow unboundedly when a sweep
+        # queries varying per-round subsets (the coupling-off moving case).
+        self._array_key: tuple[str, ...] | None = None
+        self._array_value: np.ndarray | None = None
+
+    def initial_array(self, tag_ids: Sequence[str]) -> np.ndarray:
+        """Initial positions of ``tag_ids`` as an ``(N, 3)`` array (cached)."""
+        key = tuple(tag_ids)
+        if key != self._array_key:
+            self._array_key = key
+            self._array_value = np.array(
+                [
+                    (p.x, p.y, p.z)
+                    for p in (self._positions[tag_id] for tag_id in key)
+                ],
+                dtype=float,
+            ).reshape(len(key), 3)
+        return self._array_value
+
+    def positions_paired(
+        self, tag_ids: Sequence[str], times_s: np.ndarray
+    ) -> np.ndarray:
+        """Position of ``tag_ids[i]`` at ``times_s[i]``, as ``(M, 3)``.
+
+        The diagonal of the :meth:`positions_at` cross product; every cell of
+        that query depends only on its own (tag, time) pair, so the paired
+        result is bitwise the same rows the full-population query would give.
+        """
+        times = np.asarray(times_s, dtype=float)
+        count = len(tag_ids)
+        rows = self.positions_at(tag_ids, times)
+        return rows[np.arange(count), np.arange(count)]
+
+
+class StaticTagPositions(_TagPositionsBase):
+    """Tags that never move (the antenna-moving / librarian case)."""
+
+    is_static = True
+
+    def __call__(self, tag_id: str, _time_s: float) -> Point3D:
+        return self._positions[tag_id]
+
+    def positions_at(self, tag_ids: Sequence[str], times_s: np.ndarray) -> np.ndarray:
+        """Positions as ``(T, N, 3)``: the static layout broadcast over time."""
+        times = np.asarray(times_s, dtype=float)
+        base = self.initial_array(tag_ids)
+        return np.broadcast_to(base[None, :, :], (times.size, len(tag_ids), 3))
+
+
+class ConstantVelocityTagPositions(_TagPositionsBase):
+    """Tags translating together at a constant velocity (plain belt)."""
+
+    is_static = False
+
+    def __init__(
+        self, positions: Mapping[str, Point3D], velocity: tuple[float, float, float]
+    ) -> None:
+        super().__init__(positions)
+        self.velocity = tuple(float(c) for c in velocity)
+
+    def __call__(self, tag_id: str, time_s: float) -> Point3D:
+        start = self._positions[tag_id]
+        vx, vy, vz = self.velocity
+        return Point3D(
+            start.x + vx * time_s,
+            start.y + vy * time_s,
+            start.z + vz * time_s,
+        )
+
+    def positions_at(self, tag_ids: Sequence[str], times_s: np.ndarray) -> np.ndarray:
+        """Positions as ``(T, N, 3)``: ``start + velocity * t`` elementwise."""
+        times = np.asarray(times_s, dtype=float)
+        base = self.initial_array(tag_ids)
+        displacement = np.empty((times.size, 3))
+        displacement[:, 0] = self.velocity[0] * times
+        displacement[:, 1] = self.velocity[1] * times
+        displacement[:, 2] = self.velocity[2] * times
+        return base[None, :, :] + displacement[:, None, :]
+
+
+class BeltTagPositions(_TagPositionsBase):
+    """Tags translating along −X following a (possibly variable) speed profile.
+
+    The warehouse sortation belt: every tag shares one speed profile, so the
+    relative geometry is preserved while the belt surges and crawls.
+    """
+
+    is_static = False
+
+    def __init__(self, positions: Mapping[str, Point3D], speed_profile) -> None:
+        super().__init__(positions)
+        self.speed_profile = speed_profile
+
+    def __call__(self, tag_id: str, time_s: float) -> Point3D:
+        start = self._positions[tag_id]
+        return Point3D(start.x - self.speed_profile.distance_at(time_s), start.y, start.z)
+
+    def positions_at(self, tag_ids: Sequence[str], times_s: np.ndarray) -> np.ndarray:
+        """Positions as ``(T, N, 3)``: ``start.x - distance_at(t)`` elementwise."""
+        times = np.asarray(times_s, dtype=float)
+        profile = self.speed_profile
+        if hasattr(profile, "distances_at"):
+            distances = profile.distances_at(times)
+        else:
+            distances = np.array([profile.distance_at(float(t)) for t in times])
+        base = self.initial_array(tag_ids)
+        out = np.repeat(base[None, :, :], times.size, axis=0)
+        out[:, :, 0] = base[None, :, 0] - distances[:, None]
+        return out
 
 
 @dataclass(frozen=True, slots=True)
@@ -50,14 +212,9 @@ def antenna_moving_scenario(
     """
     if extra_dwell_s < 0:
         raise ValueError(f"extra dwell must be non-negative, got {extra_dwell_s}")
-    positions = dict(tag_positions)
-
-    def tag_position(tag_id: str, _time_s: float) -> Point3D:
-        return positions[tag_id]
-
     return SweepScenario(
-        antenna_position=trajectory.position,
-        tag_position=tag_position,
+        antenna_position=TrajectoryAntennaPosition(trajectory),
+        tag_position=StaticTagPositions(tag_positions),
         duration_s=trajectory.duration_s + extra_dwell_s,
         description="antenna moving",
     )
@@ -84,22 +241,9 @@ def tag_moving_scenario(
     if norm == 0:
         raise ValueError("belt direction must be non-zero")
     velocity = tuple(c / norm * belt_speed_mps for c in belt_direction)
-    positions = dict(initial_tag_positions)
-
-    def tag_position(tag_id: str, time_s: float) -> Point3D:
-        start = positions[tag_id]
-        return Point3D(
-            start.x + velocity[0] * time_s,
-            start.y + velocity[1] * time_s,
-            start.z + velocity[2] * time_s,
-        )
-
-    def static_antenna(_time_s: float) -> Point3D:
-        return antenna_position
-
     return SweepScenario(
-        antenna_position=static_antenna,
-        tag_position=tag_position,
+        antenna_position=StaticAntennaPosition(antenna_position),
+        tag_position=ConstantVelocityTagPositions(initial_tag_positions, velocity),
         duration_s=duration_s,
         description="tag moving",
     )

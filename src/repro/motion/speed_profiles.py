@@ -45,6 +45,10 @@ class ConstantSpeedProfile:
         """Distance travelled after ``time_s`` seconds (clamped at zero)."""
         return self.speed_mps * max(time_s, 0.0)
 
+    def distances_at(self, times_s: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`distance_at` — identical arithmetic, elementwise."""
+        return self.speed_mps * np.maximum(np.asarray(times_s, dtype=float), 0.0)
+
     def time_to_cover(self, distance_m: float) -> float:
         """Time needed to cover ``distance_m`` metres."""
         if distance_m < 0:
@@ -90,6 +94,22 @@ class PiecewiseSpeedProfile:
         seg_start_time = 0.0 if index == 0 else float(self._cum_times[index - 1])
         seg_start_dist = 0.0 if index == 0 else float(self._cum_distances[index - 1])
         return seg_start_dist + (time_s - seg_start_time) * self._segments[index][1]
+
+    def distances_at(self, times_s: "np.ndarray") -> "np.ndarray":
+        """Vectorized :meth:`distance_at` over an array of times.
+
+        Uses padded segment-start arrays so every branch of the scalar method
+        (inside a segment, past the last segment, ``t <= 0``) reduces to the
+        same ``start_dist + (t - start_time) * speed`` expression, evaluated
+        elementwise — bit-identical to the scalar result.
+        """
+        times = np.asarray(times_s, dtype=float)
+        index = np.searchsorted(self._cum_times, times, side="left")
+        start_times = np.concatenate([[0.0], self._cum_times])
+        start_dists = np.concatenate([[0.0], self._cum_distances])
+        speeds = np.array([s for _, s in self._segments] + [self._segments[-1][1]])
+        distances = start_dists[index] + (times - start_times[index]) * speeds[index]
+        return np.where(times <= 0.0, 0.0, distances)
 
     def time_to_cover(self, distance_m: float) -> float:
         """Time needed to cover ``distance_m`` metres."""

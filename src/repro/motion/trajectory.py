@@ -59,6 +59,25 @@ class LinearTrajectory:
             raise ValueError(f"fraction must be in [0, 1], got {fraction}")
         return self.speed_profile.time_to_cover(fraction * self.path_length_m)
 
+    def positions_at(self, times_s: "Sequence[float] | np.ndarray") -> np.ndarray:
+        """Positions at each time as a ``(T, 3)`` array — vectorized sampling.
+
+        Evaluates the same ``start + fraction * (end - start)`` arithmetic as
+        :meth:`position`, elementwise, so the sampled coordinates are
+        bit-identical to repeated scalar calls (the contract the batched
+        reader's equivalence tests rely on).
+        """
+        times = np.asarray(times_s, dtype=float)
+        profile = self.speed_profile
+        if hasattr(profile, "distances_at"):
+            distances = profile.distances_at(times)
+        else:
+            distances = np.array([profile.distance_at(float(t)) for t in times])
+        fraction = np.minimum(1.0, np.maximum(0.0, distances / self.path_length_m))
+        start = self.start.as_array()
+        end = self.end.as_array()
+        return start[None, :] + fraction[:, None] * (end[None, :] - start[None, :])
+
     def sample_positions(self, times_s: Sequence[float]) -> list[Point3D]:
         """Positions at each time in ``times_s``."""
         return [self.position(t) for t in times_s]
@@ -119,6 +138,30 @@ class WaypointTrajectory:
         local = distance - float(self._cumulative[segment])
         fraction = 0.0 if seg_length == 0 else local / seg_length
         return Point3D(*(seg_start + fraction * (seg_end - seg_start)))
+
+    def positions_at(self, times_s: "Sequence[float] | np.ndarray") -> np.ndarray:
+        """Positions at each time as a ``(T, 3)`` array — vectorized sampling.
+
+        Elementwise-identical arithmetic to :meth:`position` (same segment
+        lookup via ``searchsorted``, same interpolation expression).
+        """
+        times = np.asarray(times_s, dtype=float)
+        profile = self.speed_profile
+        if hasattr(profile, "distances_at"):
+            distances = profile.distances_at(times)
+        else:
+            distances = np.array([profile.distance_at(float(t)) for t in times])
+        distances = np.minimum(self.path_length_m, np.maximum(0.0, distances))
+        segment = np.searchsorted(self._cumulative, distances, side="right") - 1
+        segment = np.minimum(segment, len(self._segment_lengths) - 1)
+        segment = np.maximum(segment, 0)
+        waypoint_array = np.array([w.as_array() for w in self._waypoints])
+        seg_start = waypoint_array[segment]
+        seg_end = waypoint_array[segment + 1]
+        seg_length = self._segment_lengths[segment]
+        local = distances - self._cumulative[segment]
+        fraction = np.where(seg_length == 0, 0.0, local / seg_length)
+        return seg_start + fraction[:, None] * (seg_end - seg_start)
 
     def sample_positions(self, times_s: Sequence[float]) -> list[Point3D]:
         """Positions at each time in ``times_s``."""

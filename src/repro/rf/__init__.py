@@ -7,7 +7,7 @@ success/failure.
 """
 
 from .antenna import DirectionalAntenna, ReadingZone
-from .channel import BackscatterChannel, ChannelObservation
+from .channel import BackscatterChannel, BatchObservation, ChannelObservation
 from .constants import (
     DEFAULT_CHANNEL_INDEX,
     SPEED_OF_LIGHT,
@@ -19,8 +19,10 @@ from .constants import (
 from .geometry import (
     Point3D,
     distance_point_to_segment,
+    euclidean_distances,
     pairwise_distances,
     perpendicular_foot_parameter,
+    points_to_array,
 )
 from .multipath import MultipathChannel, Reflector, typical_indoor_reflectors
 from .noise import NOISELESS, NoiseModel
@@ -41,6 +43,7 @@ from .propagation import (
 
 __all__ = [
     "BackscatterChannel",
+    "BatchObservation",
     "ChannelObservation",
     "DEFAULT_CHANNEL_INDEX",
     "DeviceOffsets",
@@ -58,9 +61,11 @@ __all__ = [
     "channel_wavelength_m",
     "dbm_to_milliwatts",
     "distance_point_to_segment",
+    "euclidean_distances",
     "free_space_path_loss_db",
     "milliwatts_to_dbm",
     "pairwise_distances",
+    "points_to_array",
     "perpendicular_foot_parameter",
     "phase_distance",
     "quantise_phase",

@@ -14,10 +14,37 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 import numpy as np
 
-from .geometry import Point3D
+from .geometry import Point3D, euclidean_distances
+
+
+@lru_cache(maxsize=None)
+def _unit_boresight_components(
+    boresight: tuple[float, float, float],
+) -> tuple[float, float, float]:
+    """Normalised boresight components, cached per distinct boresight tuple.
+
+    The antenna dataclass is frozen (and slotted), so the normalisation is a
+    pure function of the field value; caching it keeps the per-round RF
+    kernel from re-normalising the same vector for every batch.
+    """
+    v = np.asarray(boresight, dtype=float)
+    v = v / np.linalg.norm(v)
+    return (float(v[0]), float(v[1]), float(v[2]))
+
+
+@lru_cache(maxsize=None)
+def _cosine_exponent_for(beamwidth_deg: float) -> float:
+    """Pattern exponent ``n`` with −3 dB at half the beamwidth (cached)."""
+    half = math.radians(beamwidth_deg / 2.0)
+    cos_half = math.cos(half)
+    if cos_half <= 0.0:
+        return 1.0
+    # 10*log10(cos^n) = -3  =>  n = -3 / (10*log10(cos))
+    return -3.0 / (10.0 * math.log10(cos_half))
 
 
 @dataclass(frozen=True, slots=True)
@@ -52,38 +79,54 @@ class DirectionalAntenna:
     @property
     def _cosine_exponent(self) -> float:
         """Exponent ``n`` such that the pattern is −3 dB at half the beamwidth."""
-        half = math.radians(self.beamwidth_deg / 2.0)
-        cos_half = math.cos(half)
-        if cos_half <= 0.0:
-            return 1.0
-        # 10*log10(cos^n) = -3  =>  n = -3 / (10*log10(cos))
-        return -3.0 / (10.0 * math.log10(cos_half))
+        return _cosine_exponent_for(self.beamwidth_deg)
 
     def _unit_boresight(self) -> np.ndarray:
-        v = np.asarray(self.boresight, dtype=float)
-        return v / np.linalg.norm(v)
+        return np.array(_unit_boresight_components(self.boresight), dtype=float)
+
+    def off_boresight_angles(
+        self, antenna_pos: np.ndarray, targets: np.ndarray
+    ) -> np.ndarray:
+        """Angles between the boresight and each target direction.
+
+        ``antenna_pos`` and ``targets`` are broadcastable ``(..., 3)`` arrays.
+        This is the vectorized kernel behind :meth:`off_boresight_angle_rad`;
+        both evaluate the identical operation sequence (normalise the
+        direction component-wise, then an explicit 3-term dot product), so the
+        scalar and batched simulation paths agree bit-for-bit.
+        """
+        antenna_pos = np.asarray(antenna_pos, dtype=float)
+        targets = np.asarray(targets, dtype=float)
+        dx = targets[..., 0] - antenna_pos[..., 0]
+        dy = targets[..., 1] - antenna_pos[..., 1]
+        dz = targets[..., 2] - antenna_pos[..., 2]
+        norm = np.sqrt(dx * dx + dy * dy + dz * dz)
+        safe_norm = np.where(norm == 0.0, 1.0, norm)
+        bx, by, bz = _unit_boresight_components(self.boresight)
+        cos_angle = (dx / safe_norm) * bx + (dy / safe_norm) * by + (dz / safe_norm) * bz
+        cos_angle = np.minimum(1.0, np.maximum(-1.0, cos_angle))
+        return np.where(norm == 0.0, 0.0, np.arccos(cos_angle))
 
     def off_boresight_angle_rad(self, antenna_pos: Point3D, target: Point3D) -> float:
         """Angle between the boresight and the direction to ``target``."""
-        direction = target.as_array() - antenna_pos.as_array()
-        norm = np.linalg.norm(direction)
-        if norm == 0:
-            return 0.0
-        cos_angle = float(np.dot(direction / norm, self._unit_boresight()))
-        cos_angle = min(1.0, max(-1.0, cos_angle))
-        return math.acos(cos_angle)
+        return float(self.off_boresight_angles(antenna_pos.as_array(), target.as_array()))
 
-    def gain_dbi_towards(self, antenna_pos: Point3D, target: Point3D) -> float:
-        """Antenna gain (dBi) in the direction of ``target``.
+    def gains_dbi_towards(self, antenna_pos: np.ndarray, targets: np.ndarray) -> np.ndarray:
+        """Antenna gains (dBi) towards each target — vectorized pattern lookup.
 
         Directions behind the panel (more than 90° off boresight) get a flat
         −20 dB front-to-back rejection relative to boresight.
         """
-        angle = self.off_boresight_angle_rad(antenna_pos, target)
-        if angle >= math.pi / 2.0:
-            return self.gain_dbi - 20.0
-        pattern_db = 10.0 * self._cosine_exponent * math.log10(max(math.cos(angle), 1e-9))
-        return self.gain_dbi + max(pattern_db, -20.0)
+        angle = self.off_boresight_angles(antenna_pos, targets)
+        pattern_db = 10.0 * self._cosine_exponent * np.log10(
+            np.maximum(np.cos(angle), 1e-9)
+        )
+        in_front = self.gain_dbi + np.maximum(pattern_db, -20.0)
+        return np.where(angle >= math.pi / 2.0, self.gain_dbi - 20.0, in_front)
+
+    def gain_dbi_towards(self, antenna_pos: Point3D, target: Point3D) -> float:
+        """Antenna gain (dBi) in the direction of ``target``."""
+        return float(self.gains_dbi_towards(antenna_pos.as_array(), target.as_array()))
 
 
 @dataclass(frozen=True, slots=True)
@@ -109,15 +152,23 @@ class ReadingZone:
         if self.max_range_m <= 0:
             raise ValueError(f"max_range_m must be positive, got {self.max_range_m}")
 
+    def contains_many(self, antenna_pos: np.ndarray, tag_positions: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`contains`: a boolean mask over ``(N, 3)`` positions.
+
+        Evaluates the same comparisons as the scalar method on the same
+        shared kernels, so the two produce identical in-zone decisions.
+        """
+        antenna_pos = np.asarray(antenna_pos, dtype=float)
+        tag_positions = np.asarray(tag_positions, dtype=float)
+        mask = euclidean_distances(antenna_pos, tag_positions) <= self.max_range_m
+        if self.beam_limited:
+            angles = self.antenna.off_boresight_angles(antenna_pos, tag_positions)
+            mask = mask & (angles <= math.radians(self.antenna.beamwidth_deg))
+        return mask
+
     def contains(self, antenna_pos: Point3D, tag_pos: Point3D) -> bool:
         """Return True if a tag at ``tag_pos`` is readable from ``antenna_pos``."""
-        distance = antenna_pos.distance_to(tag_pos)
-        if distance > self.max_range_m:
-            return False
-        if not self.beam_limited:
-            return True
-        angle = self.antenna.off_boresight_angle_rad(antenna_pos, tag_pos)
-        return angle <= math.radians(self.antenna.beamwidth_deg)
+        return bool(self.contains_many(antenna_pos.as_array(), tag_pos.as_array()))
 
     def tags_in_zone(
         self, antenna_pos: Point3D, tag_positions: dict[str, Point3D]

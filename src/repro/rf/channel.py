@@ -6,6 +6,16 @@ carrier/wavelength (:mod:`repro.rf.constants`), the Eq. (1) phase model
 multipath (:mod:`repro.rf.multipath`) and measurement noise
 (:mod:`repro.rf.noise`) — into the single interface the simulator uses: given
 an antenna position and a tag position, what does the reader observe?
+
+The heavy lifting happens in :meth:`BackscatterChannel.observe_batch`, which
+evaluates the whole pipeline (geometry, link budget, multipath complex gain,
+Eq. (1) phase, quantisation, RSSI) for a structure-of-arrays batch of reply
+attempts in vectorized NumPy.  The scalar :meth:`BackscatterChannel.observe`
+delegates to the same kernel with a batch of one, so the scalar and batched
+simulation paths are bit-identical by construction.  Randomness is drawn one
+event at a time, in the fixed per-event order ``[dropout uniform?, phase
+normal?, RSSI normal?]``, so a single shared generator produces the same
+stream whichever path consumes it.
 """
 
 from __future__ import annotations
@@ -17,10 +27,11 @@ import numpy as np
 from .antenna import DirectionalAntenna
 from .constants import (
     DEFAULT_CHANNEL_INDEX,
+    TWO_PI,
     channel_frequency_hz,
     channel_wavelength_m,
 )
-from .geometry import Point3D
+from .geometry import Point3D, euclidean_distances
 from .multipath import MultipathChannel
 from .noise import NoiseModel
 from .phase_model import DeviceOffsets, quantise_phase, round_trip_phase, wrap_phase
@@ -42,6 +53,26 @@ class ChannelObservation:
 
     readable: bool
     """False when the link budget or a dropout prevents a successful read."""
+
+
+@dataclass(frozen=True, slots=True)
+class BatchObservation:
+    """Structure-of-arrays observations for a batch of reply attempts."""
+
+    phase_rad: np.ndarray
+    """Reported phases in [0, 2*pi), shape ``(M,)``."""
+
+    rssi_dbm: np.ndarray
+    """Reported RSSI values in dBm, shape ``(M,)``."""
+
+    true_distance_m: np.ndarray
+    """Ground-truth one-way distances in metres, shape ``(M,)``."""
+
+    readable: np.ndarray
+    """Boolean mask of successfully decoded (non-dropped) replies."""
+
+    def __len__(self) -> int:
+        return int(self.phase_rad.size)
 
 
 @dataclass(frozen=True, slots=True)
@@ -80,6 +111,95 @@ class BackscatterChannel:
             antenna_pos, tag_pos, self.frequency_hz
         )
 
+    def observe_batch(
+        self,
+        antenna_positions: np.ndarray,
+        tag_positions: np.ndarray,
+        rng: np.random.Generator,
+        device_offsets_total: "float | np.ndarray | None" = None,
+        extra_positions: np.ndarray | None = None,
+        extra_coefficients: np.ndarray | None = None,
+        extra_decays: np.ndarray | None = None,
+        extra_event_index: np.ndarray | None = None,
+    ) -> BatchObservation:
+        """Simulate a batch of reply attempts in one vectorized pass.
+
+        Parameters
+        ----------
+        antenna_positions, tag_positions:
+            ``(M, 3)`` arrays of the antenna and tag position per attempt.
+        rng:
+            Shared random generator.  Noise is drawn per event, in event
+            order, with the per-event draw sequence ``[dropout uniform (only
+            when the fade is above the dropout threshold and the dropout
+            probability is non-zero), phase normal (when phase noise is on),
+            RSSI normal (when RSSI noise is on)]`` — exactly the sequence the
+            scalar :meth:`observe` loop consumes, which is what makes batched
+            and sequential sweeps bit-identical.
+        device_offsets_total:
+            Per-event device offset ``mu`` (radians).  Defaults to this
+            channel's own :attr:`device_offsets`.  The reader passes a
+            per-event array because ``theta_TAG`` differs per tag model.
+        extra_positions, extra_coefficients, extra_decays, extra_event_index:
+            Flattened per-event transient scatterers (tag coupling); see
+            :meth:`repro.rf.multipath.MultipathChannel.complex_gains`.
+        """
+        antenna_positions = np.asarray(antenna_positions, dtype=float)
+        tag_positions = np.asarray(tag_positions, dtype=float)
+        if tag_positions.ndim != 2 or tag_positions.shape[-1] != 3:
+            raise ValueError(
+                f"tag positions must have shape (M, 3), got {tag_positions.shape}"
+            )
+        frequency = self.frequency_hz
+        wavelength = self.wavelength_m
+        if device_offsets_total is None:
+            device_offsets_total = self.device_offsets.total
+
+        distance = euclidean_distances(antenna_positions, tag_positions)
+        # One pass over the link geometry yields both the base RSSI and the
+        # decodability mask (bit-identical to the standalone methods).
+        rssi_base, decodable = self.link_budget.link_observables(
+            antenna_positions, tag_positions, frequency, distances=distance
+        )
+
+        gains = self.multipath.complex_gains(
+            antenna_positions,
+            tag_positions,
+            wavelength,
+            extra_positions=extra_positions,
+            extra_coefficients=extra_coefficients,
+            extra_decays=extra_decays,
+            extra_event_index=extra_event_index,
+        )
+        fade_db, perturbation = MultipathChannel.fades_and_perturbations(gains)
+
+        # Randomness: NoiseModel draws per event, in event order, so the
+        # scalar and batched paths consume the shared generator identically.
+        # Zero draws are added as exact no-ops (x + 0.0 == x for the values
+        # seen here), mirroring the scalar noise methods' std == 0 shortcuts.
+        dropped, phase_noise, rssi_noise = self.noise.draw_event_noise(fade_db, rng)
+
+        readable = decodable & ~dropped
+
+        # Eq. (1) phase pipeline, replicating the scalar operation order:
+        # wrapped round-trip phase, + multipath perturbation, wrap, + noise,
+        # wrap, quantise.
+        theta = TWO_PI * (2.0 * distance) / wavelength + device_offsets_total
+        phase = np.mod(theta, TWO_PI)
+        phase = wrap_phase(phase + perturbation)
+        phase = wrap_phase(phase + phase_noise)
+        if self.quantise:
+            phase = quantise_phase(phase)
+
+        rssi = rssi_base + fade_db + rssi_noise
+
+        return BatchObservation(
+            phase_rad=phase,
+            rssi_dbm=rssi,
+            true_distance_m=distance,
+            readable=readable,
+        )
+
     def observe(
         self,
         antenna_pos: Point3D,
@@ -96,42 +216,37 @@ class BackscatterChannel:
         ``extra_reflectors`` adds transient reflectors/scatterers that only
         apply to this observation — the reader uses it to model coupling from
         neighbouring tags, whose positions may change over the sweep.
+
+        Delegates to :meth:`observe_batch` with a batch of one, so sequential
+        and batched simulation share one arithmetic kernel.
         """
-        distance = antenna_pos.distance_to(tag_pos)
-        decodable = self.link_budget.reply_decodable(
-            antenna_pos, tag_pos, self.frequency_hz
-        )
-
-        multipath = self.multipath
+        extra_positions = extra_coefficients = extra_decays = extra_index = None
         if extra_reflectors:
-            multipath = MultipathChannel(
-                reflectors=tuple(multipath.reflectors) + tuple(extra_reflectors)
+            extra_positions = np.array(
+                [[r.position.x, r.position.y, r.position.z] for r in extra_reflectors]
             )
-
-        fade_db = multipath.amplitude_gain_db(
-            antenna_pos, tag_pos, self.wavelength_m
+            extra_coefficients = np.array(
+                [r.reflection_coefficient for r in extra_reflectors]
+            )
+            extra_decays = np.array(
+                [
+                    np.nan if r.scattering_decay_m is None else r.scattering_decay_m
+                    for r in extra_reflectors
+                ]
+            )
+            extra_index = np.zeros(len(extra_reflectors), dtype=np.intp)
+        batch = self.observe_batch(
+            antenna_pos.as_array()[None, :],
+            tag_pos.as_array()[None, :],
+            rng,
+            extra_positions=extra_positions,
+            extra_coefficients=extra_coefficients,
+            extra_decays=extra_decays,
+            extra_event_index=extra_index,
         )
-        phase_perturbation = multipath.phase_perturbation_rad(
-            antenna_pos, tag_pos, self.wavelength_m
-        )
-
-        dropped = self.noise.read_dropped(fade_db, rng)
-        readable = decodable and not dropped
-
-        phase = wrap_phase(
-            round_trip_phase(distance, self.wavelength_m, self.device_offsets)
-            + phase_perturbation
-        )
-        phase = self.noise.noisy_phase(float(phase), rng)
-        if self.quantise:
-            phase = float(quantise_phase(phase))
-
-        rssi = self.ideal_rssi(antenna_pos, tag_pos) + fade_db
-        rssi = self.noise.noisy_rssi(rssi, rng)
-
         return ChannelObservation(
-            phase_rad=phase,
-            rssi_dbm=rssi,
-            true_distance_m=distance,
-            readable=readable,
+            phase_rad=float(batch.phase_rad[0]),
+            rssi_dbm=float(batch.rssi_dbm[0]),
+            true_distance_m=float(batch.true_distance_m[0]),
+            readable=bool(batch.readable[0]),
         )

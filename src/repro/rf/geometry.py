@@ -33,8 +33,19 @@ class Point3D:
         return np.array([self.x, self.y, self.z], dtype=float)
 
     def distance_to(self, other: "Point3D") -> float:
-        """Euclidean distance to ``other`` in metres."""
-        return math.dist((self.x, self.y, self.z), (other.x, other.y, other.z))
+        """Euclidean distance to ``other`` in metres.
+
+        Computed as ``sqrt(dx*dx + dy*dy + dz*dz)`` — the same operation
+        sequence as :func:`euclidean_distances` — so that scalar and
+        vectorized code paths agree bit-for-bit (``math.dist`` uses a scaled
+        algorithm that differs from the naive form by 1 ULP for ~20% of
+        inputs, which would break the batched-vs-scalar sweep equivalence).
+        Coordinates are metre-scale, so the naive form cannot overflow.
+        """
+        dx = self.x - other.x
+        dy = self.y - other.y
+        dz = self.z - other.z
+        return math.sqrt(dx * dx + dy * dy + dz * dz)
 
     def translate(self, dx: float = 0.0, dy: float = 0.0, dz: float = 0.0) -> "Point3D":
         """Return a new point translated by the given offsets."""
@@ -56,6 +67,30 @@ class Point3D:
         if len(values) == 3:
             return Point3D(float(values[0]), float(values[1]), float(values[2]))
         raise ValueError(f"expected 2 or 3 coordinates, got {len(values)}")
+
+
+def points_to_array(points: Iterable[Point3D]) -> np.ndarray:
+    """Stack points into a ``float64`` array of shape ``(N, 3)``."""
+    rows = [(p.x, p.y, p.z) for p in points]
+    if not rows:
+        return np.zeros((0, 3))
+    return np.array(rows, dtype=float)
+
+
+def euclidean_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Euclidean distances between broadcastable ``(..., 3)`` point arrays.
+
+    Evaluates ``sqrt(dx*dx + dy*dy + dz*dz)`` elementwise — bit-identical to
+    :meth:`Point3D.distance_to` on the corresponding scalar coordinates, which
+    is what lets the batched RF kernels reproduce the scalar simulation
+    exactly.
+    """
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    dx = a[..., 0] - b[..., 0]
+    dy = a[..., 1] - b[..., 1]
+    dz = a[..., 2] - b[..., 2]
+    return np.sqrt(dx * dx + dy * dy + dz * dz)
 
 
 def pairwise_distances(points: Iterable[Point3D]) -> np.ndarray:

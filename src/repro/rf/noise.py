@@ -63,6 +63,41 @@ class NoiseModel:
             return False
         return bool(rng.random() < self.random_dropout_probability)
 
+    def draw_event_noise(
+        self, fade_db: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-event noise draws for a batch of reads, in event order.
+
+        Returns ``(dropped, phase_noise, rssi_noise)`` arrays of shape
+        ``(M,)``.  This is the single production implementation of the
+        per-event draw-order contract: each event consumes the generator
+        exactly as the scalar methods would in the sequence
+        ``read_dropped`` → ``noisy_phase`` → ``noisy_rssi`` — a dropout
+        uniform only when the fade is above the threshold and the dropout
+        probability is non-zero, then one normal per enabled noise term.
+        ``tests/test_batch_sweep.py`` pins the equivalence, so editing either
+        side of the contract fails a test instead of silently diverging the
+        batched and scalar simulations.
+        """
+        count = int(fade_db.shape[0])
+        dropout_p = self.random_dropout_probability
+        phase_std = self.phase_noise_std_rad
+        rssi_std = self.rssi_noise_std_db
+        threshold = self.fade_dropout_threshold_db
+        dropped = np.zeros(count, dtype=bool)
+        phase_noise = np.zeros(count)
+        rssi_noise = np.zeros(count)
+        for i in range(count):
+            if fade_db[i] <= threshold:
+                dropped[i] = True
+            elif dropout_p != 0.0:
+                dropped[i] = rng.random() < dropout_p
+            if phase_std != 0.0:
+                phase_noise[i] = rng.normal(0.0, phase_std)
+            if rssi_std != 0.0:
+                rssi_noise[i] = rng.normal(0.0, rssi_std)
+        return dropped, phase_noise, rssi_noise
+
 
 NOISELESS = NoiseModel(
     phase_noise_std_rad=0.0,

@@ -47,16 +47,28 @@ class DeviceOffsets:
         return float(np.mod(self.theta_tx + self.theta_rx + self.theta_tag, TWO_PI))
 
 
+def _is_scalar_like(value) -> bool:
+    """True for inputs that should map to a Python ``float`` result.
+
+    ``np.isscalar`` returns False for 0-d ndarrays and numpy scalar types, so
+    functions keyed on it leaked 0-d arrays back to callers that passed
+    scalar-like values.  ``np.ndim(x) == 0`` covers Python numbers, numpy
+    scalars, and 0-d arrays uniformly.
+    """
+    return np.ndim(value) == 0
+
+
 def wrap_phase(theta: "float | np.ndarray") -> "float | np.ndarray":
     """Wrap a phase (scalar or array) into [0, 2*pi).
 
     ``np.mod`` can return exactly ``2*pi`` for tiny negative inputs because of
     floating-point rounding; those values are folded back to 0 so the result
-    is always strictly inside the interval.
+    is always strictly inside the interval.  Scalar-like inputs (Python
+    floats, numpy scalars, 0-d arrays) yield a Python ``float``.
     """
     wrapped = np.mod(theta, TWO_PI)
     wrapped = np.where(wrapped >= TWO_PI, 0.0, wrapped)
-    if np.isscalar(theta):
+    if _is_scalar_like(theta):
         return float(wrapped)
     return wrapped
 
@@ -90,7 +102,7 @@ def round_trip_phase(
     mu = offsets.total if offsets is not None else 0.0
     theta = TWO_PI * (2.0 * dist) / wavelength_m + mu
     wrapped = np.mod(theta, TWO_PI)
-    if np.isscalar(distance_m):
+    if _is_scalar_like(distance_m):
         return float(wrapped)
     return wrapped
 
@@ -109,7 +121,7 @@ def quantise_phase(
     step = TWO_PI / levels
     wrapped = np.mod(np.asarray(theta, dtype=float), TWO_PI)
     quantised = np.mod(np.round(wrapped / step) * step, TWO_PI)
-    if np.isscalar(theta):
+    if _is_scalar_like(theta):
         return float(quantised)
     return quantised
 

@@ -15,6 +15,7 @@ from .aloha import (
     SlotOutcome,
     expected_success_rate,
 )
+from .coupling import NeighborGrid
 from .epc import EPC, EPC_BITS, generate_epcs
 from .reader import ReaderConfig, RFIDReader
 from .reading import ReadLog, TagRead
@@ -46,6 +47,7 @@ __all__ = [
     "EPC",
     "EPC_BITS",
     "FrameSlottedAloha",
+    "NeighborGrid",
     "PAPER_TAG_MODELS",
     "QAlgorithm",
     "RFIDReader",

@@ -11,22 +11,39 @@ The reader is agnostic to *why* geometry changes over time: callers provide
 callables mapping time to antenna position and to tag positions, so the same
 reader serves the antenna-moving case (librarian pushing a cart) and the
 tag-moving case (baggage on a conveyor belt).
+
+Two sweep implementations share one RF kernel:
+
+* the **batched** path (default) gathers each round's successful slots into
+  structure-of-arrays batches and evaluates the whole RF pipeline in
+  vectorized NumPy (:meth:`~repro.rf.channel.BackscatterChannel.observe_batch`),
+  with coupling neighbours found via a spatial hash
+  (:class:`~repro.rfid.coupling.NeighborGrid`) for static layouts;
+* the **scalar** path (``batched=False``) is the original read-at-a-time
+  reference loop.
+
+Both consume the shared random generator in the identical order (one
+``rng.integers`` per round, then the fixed per-event noise-draw sequence), so
+their read logs are **bit-identical** — pinned by
+``tests/test_batch_sweep.py``.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
-from typing import Callable, Mapping
+from typing import Callable, Mapping, Sequence
 
 import numpy as np
 
+from ..motion.scenarios import StaticTagPositions
 from ..rf.antenna import ReadingZone
 from ..rf.channel import BackscatterChannel
-from ..rf.geometry import Point3D
+from ..rf.geometry import Point3D, euclidean_distances
 from ..rf.multipath import Reflector
 from ..rf.phase_model import DeviceOffsets
 from .aloha import FrameSlottedAloha, SlotOutcome
+from .coupling import NeighborGrid
 from .reading import ReadLog, TagRead
 from .tag import Tag, TagCollection
 
@@ -63,6 +80,67 @@ class ReaderConfig:
     tag_coupling_radius_m: float = 0.15
     """Neighbours farther than this contribute no coupling (saves computation)."""
 
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.tag_coupling_coefficient <= 1.0:
+            raise ValueError(
+                "tag coupling coefficient must be in [0, 1], "
+                f"got {self.tag_coupling_coefficient}"
+            )
+        if self.tag_coupling_decay_m <= 0.0:
+            raise ValueError(
+                f"tag coupling decay must be positive, got {self.tag_coupling_decay_m}"
+            )
+        if self.tag_coupling_radius_m <= 0.0:
+            raise ValueError(
+                "tag coupling radius must be positive "
+                f"(use coefficient 0 to disable coupling), got {self.tag_coupling_radius_m}"
+            )
+
+
+class _CallableTagPositions:
+    """Fallback provider wrapping a plain ``(tag_id, t) -> Point3D`` callable.
+
+    Correct for arbitrary user-supplied motion, but evaluates positions one
+    call at a time; the standard scenarios install array-native providers
+    (see :mod:`repro.motion.scenarios`) that vectorize these queries.
+    """
+
+    is_static = False
+
+    def __init__(self, fn: TagPositionFn) -> None:
+        self._fn = fn
+
+    def __call__(self, tag_id: str, time_s: float) -> Point3D:
+        return self._fn(tag_id, time_s)
+
+    def positions_at(self, tag_ids: Sequence[str], times_s: np.ndarray) -> np.ndarray:
+        times = np.asarray(times_s, dtype=float)
+        out = np.empty((times.size, len(tag_ids), 3))
+        for t_index, time_s in enumerate(times):
+            for n_index, tag_id in enumerate(tag_ids):
+                point = self._fn(tag_id, float(time_s))
+                out[t_index, n_index, 0] = point.x
+                out[t_index, n_index, 1] = point.y
+                out[t_index, n_index, 2] = point.z
+        return out
+
+    def positions_paired(
+        self, tag_ids: Sequence[str], times_s: np.ndarray
+    ) -> np.ndarray:
+        """Position of ``tag_ids[i]`` at ``times_s[i]``, as ``(M, 3)``.
+
+        One call per pair — O(M), unlike the O(M^2) cross product
+        :meth:`positions_at` would evaluate for the same pairs.
+        """
+        times = np.asarray(times_s, dtype=float)
+        out = np.empty((len(tag_ids), 3))
+        for index, (tag_id, time_s) in enumerate(zip(tag_ids, times)):
+            point = self._fn(tag_id, float(time_s))
+            out[index, 0] = point.x
+            out[index, 1] = point.y
+            out[index, 2] = point.z
+        return out
+
 
 class RFIDReader:
     """Simulates continuous C1G2 inventory during a sweep."""
@@ -76,19 +154,34 @@ class RFIDReader:
         self.protocol = protocol if protocol is not None else FrameSlottedAloha()
         self._per_tag_channels: dict[str, BackscatterChannel] = {}
 
+    def _device_offsets_for(self, tag: Tag) -> DeviceOffsets:
+        """Eq. (1) ``mu`` components for one tag behind this reader."""
+        return DeviceOffsets(
+            theta_tx=self.config.reader_tx_phase_rad,
+            theta_rx=self.config.reader_rx_phase_rad,
+            theta_tag=tag.model.reflection_phase_rad,
+        )
+
     def _channel_for(self, tag: Tag) -> BackscatterChannel:
         """A channel whose device offsets include this tag's reflection phase."""
         existing = self._per_tag_channels.get(tag.tag_id)
         if existing is not None:
             return existing
-        offsets = DeviceOffsets(
-            theta_tx=self.config.reader_tx_phase_rad,
-            theta_rx=self.config.reader_rx_phase_rad,
-            theta_tag=tag.model.reflection_phase_rad,
+        channel = dataclasses.replace(
+            self.config.channel, device_offsets=self._device_offsets_for(tag)
         )
-        channel = dataclasses.replace(self.config.channel, device_offsets=offsets)
         self._per_tag_channels[tag.tag_id] = channel
         return channel
+
+    def _resolve_tag_positions(
+        self, tag_position: TagPositionFn | None, tags: TagCollection
+    ):
+        """Normalise the tag-position argument into an array-native provider."""
+        if tag_position is None:
+            return StaticTagPositions(tags.positions())
+        if hasattr(tag_position, "positions_at") and hasattr(tag_position, "is_static"):
+            return tag_position
+        return _CallableTagPositions(tag_position)
 
     def sweep(
         self,
@@ -97,6 +190,7 @@ class RFIDReader:
         duration_s: float,
         tag_position: TagPositionFn | None = None,
         rng: np.random.Generator | None = None,
+        batched: bool = True,
     ) -> ReadLog:
         """Run inventory rounds for ``duration_s`` seconds and return the read log.
 
@@ -114,10 +208,31 @@ class RFIDReader:
             the static positions stored in ``tags`` (antenna-moving case).
         rng:
             Random generator controlling slot choices, noise, and dropouts.
+        batched:
+            Use the round-batched vectorized RF kernel (default).  The scalar
+            path observes one read at a time; both produce bit-identical logs
+            from the same seed.
         """
         if duration_s <= 0:
             raise ValueError(f"duration must be positive, got {duration_s}")
         rng = rng if rng is not None else np.random.default_rng()
+        if batched:
+            return self._sweep_batched(tags, antenna_position, duration_s, tag_position, rng)
+        return self._sweep_scalar(tags, antenna_position, duration_s, tag_position, rng)
+
+    # ------------------------------------------------------------------
+    # Scalar reference path
+    # ------------------------------------------------------------------
+
+    def _sweep_scalar(
+        self,
+        tags: TagCollection,
+        antenna_position: AntennaPositionFn,
+        duration_s: float,
+        tag_position: TagPositionFn | None,
+        rng: np.random.Generator,
+    ) -> ReadLog:
+        """The original read-at-a-time loop, kept as the reference semantics."""
         static_positions: Mapping[str, Point3D] = tags.positions()
 
         def position_of(tag_id: str, time_s: float) -> Point3D:
@@ -204,3 +319,227 @@ class RFIDReader:
                 )
             )
         return tuple(scatterers)
+
+    # ------------------------------------------------------------------
+    # Batched path
+    # ------------------------------------------------------------------
+
+    def _sweep_batched(
+        self,
+        tags: TagCollection,
+        antenna_position: AntennaPositionFn,
+        duration_s: float,
+        tag_position: TagPositionFn | None,
+        rng: np.random.Generator,
+    ) -> ReadLog:
+        """Round-batched sweep: vectorized geometry, RF kernel, and logging."""
+        config = self.config
+        channel = config.channel
+        zone = config.reading_zone
+        tag_list = list(tags)
+        ids = [tag.tag_id for tag in tag_list]
+        index_of = {tag_id: i for i, tag_id in enumerate(ids)}
+        population = len(ids)
+        # Hoist the per-tag Eq. (1) offsets: theta_TAG varies per tag model,
+        # everything else about the channel is shared.
+        mu_by_tag = np.array(
+            [self._device_offsets_for(tag).total for tag in tag_list], dtype=float
+        )
+
+        provider = self._resolve_tag_positions(tag_position, tags)
+        static_layout = bool(getattr(provider, "is_static", False))
+        antenna_positions_at = getattr(antenna_position, "positions_at", None)
+
+        coupling_on = config.tag_coupling_coefficient > 0.0 and population > 1
+        radius = config.tag_coupling_radius_m
+        base_positions: np.ndarray | None = None
+        grid: NeighborGrid | None = None
+        if static_layout:
+            base_positions = provider.positions_at(ids, np.zeros(1))[0]
+            # Copy: the provider may hand out a broadcast view of its cache.
+            base_positions = np.array(base_positions, dtype=float)
+            if coupling_on:
+                grid = NeighborGrid(base_positions, radius)
+
+        # Column accumulators for the read log.
+        out_times: list[np.ndarray] = []
+        out_ids: list[str] = []
+        out_phases: list[np.ndarray] = []
+        out_rssis: list[np.ndarray] = []
+
+        clock = 0.0
+        while clock < duration_s:
+            antenna_pos = antenna_position(clock)
+            if static_layout:
+                round_positions = base_positions
+            else:
+                round_positions = provider.positions_at(ids, np.array([clock]))[0]
+            in_zone_mask = zone.contains_many(antenna_pos.as_array(), round_positions)
+            in_zone = [ids[i] for i in np.nonzero(in_zone_mask)[0]]
+
+            events = self.protocol.run_round(in_zone, clock, rng)
+            success_ids: list[str] = []
+            success_times: list[float] = []
+            for event in events:
+                if event.outcome is not SlotOutcome.SUCCESS or event.tag_id is None:
+                    continue
+                read_time = event.end_time_s
+                if read_time > duration_s:
+                    break
+                success_ids.append(event.tag_id)
+                success_times.append(read_time)
+
+            if success_ids:
+                self._observe_round(
+                    rng=rng,
+                    channel=channel,
+                    provider=provider,
+                    antenna_position=antenna_position,
+                    antenna_positions_at=antenna_positions_at,
+                    ids=ids,
+                    index_of=index_of,
+                    mu_by_tag=mu_by_tag,
+                    base_positions=base_positions,
+                    grid=grid,
+                    coupling_on=coupling_on,
+                    radius=radius,
+                    success_ids=success_ids,
+                    success_times=success_times,
+                    out_times=out_times,
+                    out_ids=out_ids,
+                    out_phases=out_phases,
+                    out_rssis=out_rssis,
+                )
+
+            round_time = self.protocol.round_duration_s(events)
+            if round_time <= 0:
+                raise RuntimeError("inventory round produced non-positive duration")
+            clock += round_time
+
+        if out_times:
+            timestamps = np.concatenate(out_times)
+            phases = np.concatenate(out_phases)
+            rssis = np.concatenate(out_rssis)
+        else:
+            timestamps = phases = rssis = np.empty(0)
+        order = np.argsort(timestamps, kind="stable")
+        log = ReadLog()
+        log.extend_columns(
+            timestamps[order],
+            [out_ids[i] for i in order],
+            phases[order],
+            rssis[order],
+            channel_index=channel.channel_index,
+            antenna_port=config.antenna_port,
+        )
+        return log
+
+    def _observe_round(
+        self,
+        rng: np.random.Generator,
+        channel: BackscatterChannel,
+        provider,
+        antenna_position: AntennaPositionFn,
+        antenna_positions_at,
+        ids: list[str],
+        index_of: dict[str, int],
+        mu_by_tag: np.ndarray,
+        base_positions: np.ndarray | None,
+        grid: NeighborGrid | None,
+        coupling_on: bool,
+        radius: float,
+        success_ids: list[str],
+        success_times: list[float],
+        out_times: list[np.ndarray],
+        out_ids: list[str],
+        out_phases: list[np.ndarray],
+        out_rssis: list[np.ndarray],
+    ) -> None:
+        """Observe one round's successful slots as a single vectorized batch."""
+        count = len(success_ids)
+        tag_indices = np.array([index_of[tag_id] for tag_id in success_ids], dtype=np.intp)
+        times = np.array(success_times, dtype=float)
+
+        if antenna_positions_at is not None:
+            antenna_rows = np.asarray(antenna_positions_at(times), dtype=float)
+        else:
+            antenna_rows = np.array(
+                [
+                    (p.x, p.y, p.z)
+                    for p in (antenna_position(t) for t in success_times)
+                ],
+                dtype=float,
+            )
+
+        extra_positions = extra_index = None
+        if base_positions is not None:
+            # Static layout: positions never change; neighbour sets come from
+            # the sweep-lifetime spatial hash.
+            event_tag_positions = base_positions[tag_indices]
+            if coupling_on and grid is not None:
+                neighbor_lists = [grid.neighbors_of(int(i)) for i in tag_indices]
+                total = sum(len(n) for n in neighbor_lists)
+                if total:
+                    extra_index = np.repeat(
+                        np.arange(count, dtype=np.intp),
+                        [len(n) for n in neighbor_lists],
+                    )
+                    flat_neighbors = np.concatenate(neighbor_lists)
+                    extra_positions = base_positions[flat_neighbors]
+        elif not coupling_on:
+            # Moving tags without coupling: only the observed tags' own
+            # positions matter.  Providers evaluate each (tag, time) cell
+            # independently, so a pairwise query equals the corresponding
+            # cells of the full-population query bitwise.
+            paired = getattr(provider, "positions_paired", None)
+            if paired is not None:
+                event_tag_positions = paired(success_ids, times)
+            else:
+                rows = provider.positions_at(success_ids, times)
+                event_tag_positions = rows[np.arange(count), np.arange(count)]
+        else:
+            # Moving tags with coupling: evaluate every tag's position at
+            # every read time in one array pass, then apply the exact radius
+            # filter (the positions change each event, so the spatial hash
+            # would have to be rebuilt per event anyway — the dense filter IS
+            # that rebuild).
+            all_positions = provider.positions_at(ids, times)
+            event_tag_positions = all_positions[np.arange(count), tag_indices]
+            distances = euclidean_distances(
+                event_tag_positions[:, None, :], all_positions
+            )
+            within = distances <= radius
+            within[np.arange(count), tag_indices] = False
+            event_index, neighbor_index = np.nonzero(within)
+            if event_index.size:
+                extra_index = event_index.astype(np.intp)
+                extra_positions = all_positions[event_index, neighbor_index]
+
+        extra_coefficients = extra_decays = None
+        if extra_positions is not None:
+            extra_coefficients = np.full(
+                len(extra_positions), self.config.tag_coupling_coefficient
+            )
+            extra_decays = np.full(
+                len(extra_positions), self.config.tag_coupling_decay_m
+            )
+
+        observation = channel.observe_batch(
+            antenna_rows,
+            event_tag_positions,
+            rng,
+            device_offsets_total=mu_by_tag[tag_indices],
+            extra_positions=extra_positions,
+            extra_coefficients=extra_coefficients,
+            extra_decays=extra_decays,
+            extra_event_index=extra_index,
+        )
+
+        keep = observation.readable
+        if not np.any(keep):
+            return
+        kept = np.nonzero(keep)[0]
+        out_times.append(times[kept])
+        out_ids.extend(success_ids[i] for i in kept)
+        out_phases.append(observation.phase_rad[kept])
+        out_rssis.append(observation.rssi_dbm[kept])

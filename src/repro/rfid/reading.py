@@ -4,12 +4,19 @@ Every successfully decoded tag reply yields a :class:`TagRead` carrying the
 fields the ImpinJ LLRP API exposes and the paper consumes: EPC, a timestamp,
 the RF phase, the RSSI, and the channel index.  A :class:`ReadLog` groups the
 reads of one sweep and offers the per-tag views STPP and the baselines use.
+
+:class:`ReadLog` stores reads **columnar** (one sequence per field) rather
+than as a list of per-read objects: the batched reader simulator assembles a
+sweep's time-sorted reads via :meth:`ReadLog.extend_columns`, and profile
+assembly slices the cached NumPy columns instead of list-comprehending over
+objects.  :class:`TagRead` objects are materialised lazily, only for callers
+that iterate the log read-by-read.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
@@ -37,70 +44,246 @@ class TagRead:
     """Antenna port that produced the read (multi-antenna baselines use >1)."""
 
 
-@dataclass
 class ReadLog:
-    """An append-only log of reads from one sweep."""
+    """An append-only, columnar log of reads from one sweep."""
 
-    reads: list[TagRead] = field(default_factory=list)
+    __slots__ = (
+        "_timestamps",
+        "_tag_ids",
+        "_phases",
+        "_rssis",
+        "_channels",
+        "_ports",
+        "_arrays",
+        "_reads",
+        "_tag_indices",
+    )
+
+    def __init__(self, reads: Iterable[TagRead] | None = None) -> None:
+        self._timestamps: list[float] = []
+        self._tag_ids: list[str] = []
+        self._phases: list[float] = []
+        self._rssis: list[float] = []
+        self._channels: list[int] = []
+        self._ports: list[int] = []
+        self._invalidate()
+        if reads is not None:
+            self.extend(reads)
+
+    def _invalidate(self) -> None:
+        self._arrays: dict[str, np.ndarray] | None = None
+        self._reads: list[TagRead] | None = None
+        self._tag_indices: dict[str, np.ndarray] | None = None
+
+    # -- ingestion ---------------------------------------------------------
 
     def append(self, read: TagRead) -> None:
         """Append one read to the log."""
-        self.reads.append(read)
+        self._timestamps.append(read.timestamp_s)
+        self._tag_ids.append(read.tag_id)
+        self._phases.append(read.phase_rad)
+        self._rssis.append(read.rssi_dbm)
+        self._channels.append(read.channel_index)
+        self._ports.append(read.antenna_port)
+        self._invalidate()
 
     def extend(self, reads: Iterable[TagRead]) -> None:
         """Append many reads to the log."""
-        self.reads.extend(reads)
+        for read in reads:
+            self.append(read)
+
+    def extend_columns(
+        self,
+        timestamps_s: np.ndarray,
+        tag_ids: Sequence[str],
+        phases_rad: np.ndarray,
+        rssi_dbm: np.ndarray,
+        channel_index: int,
+        antenna_port: int,
+    ) -> None:
+        """Append a batch of reads given as parallel columns (one channel/port)."""
+        count = len(tag_ids)
+        timestamps = np.asarray(timestamps_s, dtype=float)
+        phases = np.asarray(phases_rad, dtype=float)
+        rssis = np.asarray(rssi_dbm, dtype=float)
+        if timestamps.shape != (count,) or phases.shape != (count,) or rssis.shape != (count,):
+            raise ValueError(
+                "column lengths disagree: "
+                f"{count} ids vs {timestamps.shape} timestamps, "
+                f"{phases.shape} phases, {rssis.shape} rssis"
+            )
+        self._timestamps.extend(timestamps.tolist())
+        self._tag_ids.extend(tag_ids)
+        self._phases.extend(phases.tolist())
+        self._rssis.extend(rssis.tolist())
+        self._channels.extend([int(channel_index)] * count)
+        self._ports.extend([int(antenna_port)] * count)
+        self._invalidate()
+
+    @classmethod
+    def from_columns(
+        cls,
+        timestamps_s: Sequence[float],
+        tag_ids: Sequence[str],
+        phases_rad: Sequence[float],
+        rssi_dbm: Sequence[float],
+        channel_indices: Sequence[int],
+        antenna_ports: Sequence[int],
+    ) -> "ReadLog":
+        """Build a log directly from full parallel columns."""
+        log = cls()
+        log._timestamps = [float(t) for t in timestamps_s]
+        log._tag_ids = list(tag_ids)
+        log._phases = [float(p) for p in phases_rad]
+        log._rssis = [float(r) for r in rssi_dbm]
+        log._channels = [int(c) for c in channel_indices]
+        log._ports = [int(p) for p in antenna_ports]
+        lengths = {
+            len(log._timestamps),
+            len(log._tag_ids),
+            len(log._phases),
+            len(log._rssis),
+            len(log._channels),
+            len(log._ports),
+        }
+        if len(lengths) != 1:
+            raise ValueError(f"column lengths disagree: {sorted(lengths)}")
+        return log
+
+    # -- cached views ------------------------------------------------------
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """The log's fields as NumPy columns (cached; do not mutate)."""
+        if self._arrays is None:
+            self._arrays = {
+                "timestamp_s": np.array(self._timestamps, dtype=float),
+                "phase_rad": np.array(self._phases, dtype=float),
+                "rssi_dbm": np.array(self._rssis, dtype=float),
+                "channel_index": np.array(self._channels, dtype=np.int64),
+                "antenna_port": np.array(self._ports, dtype=np.int64),
+            }
+        return self._arrays
+
+    @property
+    def reads(self) -> list[TagRead]:
+        """The log as :class:`TagRead` objects (materialised lazily, cached)."""
+        if self._reads is None:
+            self._reads = [
+                TagRead(t, tid, ph, rs, ch, po)
+                for t, tid, ph, rs, ch, po in zip(
+                    self._timestamps,
+                    self._tag_ids,
+                    self._phases,
+                    self._rssis,
+                    self._channels,
+                    self._ports,
+                )
+            ]
+        return self._reads
+
+    def _indices_for(self, tag_id: str) -> np.ndarray:
+        """Log positions of ``tag_id``'s reads, in append order (cached)."""
+        if self._tag_indices is None:
+            grouped: dict[str, list[int]] = {}
+            for index, tid in enumerate(self._tag_ids):
+                grouped.setdefault(tid, []).append(index)
+            self._tag_indices = {
+                tid: np.array(indices, dtype=np.intp)
+                for tid, indices in grouped.items()
+            }
+        return self._tag_indices.get(tag_id, np.empty(0, dtype=np.intp))
+
+    def _time_sorted_indices_for(self, tag_id: str) -> np.ndarray:
+        """Log positions of ``tag_id``'s reads, stable-sorted by timestamp."""
+        indices = self._indices_for(tag_id)
+        if indices.size < 2:
+            return indices
+        times = self.columns()["timestamp_s"][indices]
+        return indices[np.argsort(times, kind="stable")]
+
+    # -- basic protocol ----------------------------------------------------
 
     def __len__(self) -> int:
-        return len(self.reads)
+        return len(self._timestamps)
 
     def __iter__(self) -> Iterator[TagRead]:
         return iter(self.reads)
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ReadLog):
+            return NotImplemented
+        return (
+            self._timestamps == other._timestamps
+            and self._tag_ids == other._tag_ids
+            and self._phases == other._phases
+            and self._rssis == other._rssis
+            and self._channels == other._channels
+            and self._ports == other._ports
+        )
+
+    def __repr__(self) -> str:
+        return f"ReadLog({len(self)} reads, {len(self.tag_ids())} tags)"
+
+    # -- queries -----------------------------------------------------------
+
     def tag_ids(self) -> list[str]:
         """Distinct tag ids in first-seen order."""
-        seen: dict[str, None] = {}
-        for read in self.reads:
-            seen.setdefault(read.tag_id, None)
-        return list(seen)
+        return list(dict.fromkeys(self._tag_ids))
 
     def for_tag(self, tag_id: str) -> list[TagRead]:
         """All reads of ``tag_id`` in timestamp order."""
-        return sorted(
-            (read for read in self.reads if read.tag_id == tag_id),
-            key=lambda read: read.timestamp_s,
-        )
+        reads = self.reads
+        return [reads[i] for i in self._time_sorted_indices_for(tag_id)]
 
     def for_antenna(self, antenna_port: int) -> "ReadLog":
         """A new log containing only reads from ``antenna_port``."""
-        return ReadLog([r for r in self.reads if r.antenna_port == antenna_port])
+        keep = [i for i, port in enumerate(self._ports) if port == antenna_port]
+        return ReadLog.from_columns(
+            [self._timestamps[i] for i in keep],
+            [self._tag_ids[i] for i in keep],
+            [self._phases[i] for i in keep],
+            [self._rssis[i] for i in keep],
+            [self._channels[i] for i in keep],
+            [self._ports[i] for i in keep],
+        )
 
     def timestamps(self, tag_id: str) -> np.ndarray:
         """Timestamps of ``tag_id``'s reads as a float array (seconds)."""
-        return np.array([r.timestamp_s for r in self.for_tag(tag_id)], dtype=float)
+        return self.columns()["timestamp_s"][self._time_sorted_indices_for(tag_id)]
 
     def phases(self, tag_id: str) -> np.ndarray:
         """Phases of ``tag_id``'s reads as a float array (radians)."""
-        return np.array([r.phase_rad for r in self.for_tag(tag_id)], dtype=float)
+        return self.columns()["phase_rad"][self._time_sorted_indices_for(tag_id)]
 
     def rssis(self, tag_id: str) -> np.ndarray:
         """RSSI values of ``tag_id``'s reads as a float array (dBm)."""
-        return np.array([r.rssi_dbm for r in self.for_tag(tag_id)], dtype=float)
+        return self.columns()["rssi_dbm"][self._time_sorted_indices_for(tag_id)]
+
+    def channel_indices(self) -> set[int]:
+        """The distinct reader channels present in the log."""
+        return set(self._channels)
 
     def read_counts(self) -> dict[str, int]:
         """Number of reads per tag id."""
         counts: dict[str, int] = {}
-        for read in self.reads:
-            counts[read.tag_id] = counts.get(read.tag_id, 0) + 1
+        for tag_id in self._tag_ids:
+            counts[tag_id] = counts.get(tag_id, 0) + 1
         return counts
 
     def duration_s(self) -> float:
         """Span between first and last read, in seconds (0 when empty)."""
-        if not self.reads:
+        if not self._timestamps:
             return 0.0
-        times = [r.timestamp_s for r in self.reads]
-        return max(times) - min(times)
+        return max(self._timestamps) - min(self._timestamps)
 
     def sorted_by_time(self) -> "ReadLog":
-        """A new log with reads sorted by timestamp."""
-        return ReadLog(sorted(self.reads, key=lambda read: read.timestamp_s))
+        """A new log with reads stable-sorted by timestamp."""
+        order = np.argsort(np.array(self._timestamps, dtype=float), kind="stable")
+        return ReadLog.from_columns(
+            [self._timestamps[i] for i in order],
+            [self._tag_ids[i] for i in order],
+            [self._phases[i] for i in order],
+            [self._rssis[i] for i in order],
+            [self._channels[i] for i in order],
+            [self._ports[i] for i in order],
+        )

@@ -39,7 +39,7 @@ def profiles_from_read_log(
     explicitly in that case.
     """
     if channel_index is None:
-        seen = {read.channel_index for read in read_log}
+        seen = read_log.channel_indices()
         if len(seen) > 1:
             raise ValueError(
                 "read log spans multiple reader channels "
@@ -48,25 +48,30 @@ def profiles_from_read_log(
         channel_index = seen.pop() if seen else None
     profile_set = ProfileSet()
     for tag_id in read_log.tag_ids():
-        reads = read_log.for_tag(tag_id)
+        # The columnar log slices each tag's reads straight out of its cached
+        # arrays — no per-read object materialisation.
         profile = PhaseProfile.from_reads(
             tag_id=tag_id,
-            timestamps_s=np.array([r.timestamp_s for r in reads], dtype=float),
-            phases_rad=np.array([r.phase_rad for r in reads], dtype=float),
-            rssi_dbm=np.array([r.rssi_dbm for r in reads], dtype=float),
+            timestamps_s=read_log.timestamps(tag_id),
+            phases_rad=read_log.phases(tag_id),
+            rssi_dbm=read_log.rssis(tag_id),
             channel_index=channel_index,
         )
         profile_set.add(profile)
     return profile_set
 
 
-def collect_sweep(scene: Scene) -> SweepResult:
+def collect_sweep(scene: Scene, batched: bool = True) -> SweepResult:
     """Simulate ``scene`` and return profiles plus the raw read log.
 
     Tags that were never successfully read during the sweep have no entry in
     the resulting :class:`ProfileSet`; callers that must account for every tag
     (e.g. the ordering accuracy metric) should compare against
     ``scene.tags.ids()``.
+
+    ``batched=False`` runs the reader's scalar reference loop instead of the
+    round-batched kernel; the results are bit-identical (the flag exists for
+    benchmarking and equivalence testing).
     """
     reader = RFIDReader(config=scene.reader_config, protocol=scene.protocol)
     read_log = reader.sweep(
@@ -75,6 +80,7 @@ def collect_sweep(scene: Scene) -> SweepResult:
         duration_s=scene.scenario.duration_s,
         tag_position=scene.scenario.tag_position,
         rng=scene.rng(),
+        batched=batched,
     )
     profiles = profiles_from_read_log(
         read_log, channel_index=scene.reader_config.channel.channel_index

@@ -27,7 +27,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..motion.scenarios import SweepScenario
+from ..motion.scenarios import (
+    BeltTagPositions,
+    StaticAntennaPosition,
+    SweepScenario,
+)
 from ..motion.speed_profiles import ConstantSpeedProfile, jittered_speed_profile
 from ..rf.geometry import Point3D
 from ..rfid.aloha import FrameSlottedAloha
@@ -183,16 +187,9 @@ def conveyor_scenario(
         duration = nominal_duration
     starts = {tag.tag_id: tag.position for tag in batch.tags}
 
-    def tag_position(tag_id: str, time_s: float) -> Point3D:
-        start = starts[tag_id]
-        return Point3D(start.x - profile.distance_at(time_s), start.y, start.z)
-
-    def static_antenna(_time_s: float) -> Point3D:
-        return antenna_pos
-
     return SweepScenario(
-        antenna_position=static_antenna,
-        tag_position=tag_position,
+        antenna_position=StaticAntennaPosition(antenna_pos),
+        tag_position=BeltTagPositions(starts, profile),
         duration_s=duration,
         description=f"warehouse conveyor, {config.lanes} lanes",
     )

@@ -69,6 +69,27 @@ class TestPhaseModel:
         assert phase_distance(0.1, TWO_PI - 0.1) == pytest.approx(0.2, abs=1e-9)
         assert 0 <= phase_distance(3.0, 0.5) <= math.pi
 
+    def test_scalar_like_inputs_return_floats(self):
+        # Regression: np.isscalar(np.array(0.3)) is False, so 0-d arrays used
+        # to leak back out as 0-d ndarrays instead of Python floats.
+        for value in (0.3, np.float64(0.3), np.array(0.3)):
+            wrapped = wrap_phase(value)
+            assert type(wrapped) is float
+            assert wrapped == pytest.approx(0.3)
+            quantised = quantise_phase(value)
+            assert type(quantised) is float
+        for distance in (1.0, np.float64(1.0), np.array(1.0)):
+            theta = round_trip_phase(distance, 0.326)
+            assert type(theta) is float
+
+    def test_array_inputs_stay_arrays(self):
+        values = np.array([0.1, TWO_PI + 0.1, -0.1])
+        assert isinstance(wrap_phase(values), np.ndarray)
+        assert isinstance(quantise_phase(values), np.ndarray)
+        assert isinstance(round_trip_phase(np.array([1.0, 2.0]), 0.326), np.ndarray)
+        # One-element arrays are arrays, not scalars.
+        assert isinstance(wrap_phase(np.array([0.1])), np.ndarray)
+
 
 class TestLinkBudget:
     def test_fspl_increases_with_distance(self):
@@ -165,6 +186,26 @@ class TestMultipath:
         far = scatterer.scattering_attenuation(Point3D(0.10, 0, 0))
         assert near == pytest.approx(1.0)
         assert far < 0.1
+
+    def test_scatterer_attenuation_curve_is_squared(self):
+        # The roll-off beyond the decay scale is (decay / distance) ** 2 —
+        # the squared near-field form the docstring now documents; this pins
+        # the curve so doc and code cannot drift apart again.
+        decay = 0.02
+        scatterer = Reflector(
+            Point3D(0, 0, 0), reflection_coefficient=0.5, scattering_decay_m=decay
+        )
+        for distance in (0.005, 0.01, 0.02):
+            # At or inside the decay scale: no extra attenuation.
+            assert scatterer.scattering_attenuation(Point3D(distance, 0, 0)) == 1.0
+        for distance in (0.03, 0.04, 0.05, 0.10):
+            expected = (decay / distance) ** 2
+            assert scatterer.scattering_attenuation(
+                Point3D(distance, 0, 0)
+            ) == pytest.approx(expected, rel=1e-12)
+        # Spot values: strong at 2 cm, marginal at 4 cm, negligible at 10 cm.
+        assert scatterer.scattering_attenuation(Point3D(0.04, 0, 0)) == pytest.approx(0.25)
+        assert scatterer.scattering_attenuation(Point3D(0.10, 0, 0)) == pytest.approx(0.04)
 
     def test_tag_coupling_scatterers_one_per_tag(self):
         positions = [Point3D(i * 0.05, 0, 0) for i in range(4)]
