@@ -13,15 +13,19 @@
 #                     BENCH_experiments.json
 #   make bench-sweep  time the sweep simulation batched vs scalar and write
 #                     BENCH_sweep.json
+#   make bench-streaming
+#                     time streaming ingest throughput + provisional-ordering
+#                     latency and write BENCH_streaming.json
 #   make check-speedups
 #                     assert floors on the speedups recorded in BENCH_*.json
-#   make examples     run the runnable examples
+#   make examples     run every example under examples/ (CI runs this so
+#                     docs-adjacent code cannot rot)
 
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 .PHONY: test unit bench-smoke bench-dtw bench-experiments bench-sweep \
-	check-speedups examples
+	bench-streaming check-speedups examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -44,11 +48,17 @@ bench-experiments:
 bench-sweep:
 	$(PYTHON) benchmarks/bench_sweep.py
 
+bench-streaming:
+	$(PYTHON) benchmarks/bench_streaming.py
+
 check-speedups:
 	$(PYTHON) benchmarks/check_speedups.py
 
+# Glob, not a hand-kept list: a new example is automatically covered, so the
+# runnable documentation cannot silently rot.  Examples are written at a
+# reduced scale (a few tags, seconds of runtime), which is what CI runs.
 examples:
-	$(PYTHON) examples/quickstart.py
-	$(PYTHON) examples/library_misplaced_books.py
-	$(PYTHON) examples/airport_baggage_tracking.py
-	$(PYTHON) examples/scheme_comparison.py
+	@set -e; for example in examples/*.py; do \
+		echo "== $$example"; \
+		$(PYTHON) "$$example"; \
+	done

@@ -1,0 +1,184 @@
+"""Streaming-service timing harness: ingest throughput + provisional latency.
+
+Measures the two costs of the streaming localization subsystem
+(``repro/service`` + ``repro/simulation/streaming.py``):
+
+* **ingest throughput** — reads/second through
+  :meth:`LocalizationSession.ingest_batch` (collector appends + bookkeeping,
+  no ordering refresh), measured by replaying a pre-simulated read log as
+  columnar round batches.  The acceptance floor is 10k reads/s — far below
+  what a COTS reader emits per antenna (~1k reads/s), so one session can
+  multiplex many readers.
+* **provisional-ordering latency** — the wall-clock cost of
+  :meth:`LocalizationSession.provisional` after each inventory round of a
+  live warehouse conveyor portal.  This is the cost the incremental engines
+  (segmenter + resumable DTW) keep flat: only columns that grew since the
+  previous refresh are recomputed.
+
+The harness also verifies the convergence guarantee on the benchmarked data:
+the session's final X/Y orderings must equal the batch pipeline's over the
+same reads — a streaming service that drifts from the batch answer is not
+faster, it is wrong.
+
+Results are written to ``BENCH_streaming.json``; CI asserts the ingest floor
+via ``benchmarks/check_speedups.py``.
+
+Run with:
+  PYTHONPATH=src python benchmarks/bench_streaming.py [--tags 60] [--out BENCH_streaming.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import BatchLocalizer, STPPConfig
+from repro.rf.geometry import Point3D
+from repro.rfid.tag import make_tags
+from repro.service import LocalizationSession
+from repro.simulation.collector import collect_sweep, profiles_from_read_log
+from repro.simulation.presets import standard_antenna_moving_scene
+from repro.workloads.warehouse import ConveyorConfig, conveyor_portal
+
+SEED = 2015
+
+
+def shelf_read_log(tag_count: int):
+    """Simulate one shelf sweep and return (scene, its read log)."""
+    positions = [
+        Point3D(0.05 * (i // 2), 0.30 * (i % 2), 0.0) for i in range(tag_count)
+    ]
+    tags = make_tags(positions, seed=SEED)
+    scene = standard_antenna_moving_scene(tags, seed=SEED)
+    return scene, tags, collect_sweep(scene).read_log
+
+
+def bench_ingest(scene, tags, read_log, repeats: int) -> dict:
+    """Replay the log's round batches through fresh sessions; time ingestion."""
+    channel = scene.reader_config.channel.channel_index
+    batches = list(read_log.iter_batches(256))
+    best = float("inf")
+    for _ in range(repeats):
+        session = LocalizationSession(
+            expected_tag_ids=tags.ids(), channel_index=channel
+        )
+        started = time.perf_counter()
+        for batch in batches:
+            session.ingest_batch(batch)
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    reads_per_s = len(read_log) / max(best, 1e-9)
+    print(
+        f"  ingest: {len(read_log)} reads in {best * 1e3:7.2f} ms "
+        f"(best of {repeats}) = {reads_per_s:,.0f} reads/s"
+    )
+    return {
+        "reads": len(read_log),
+        "batches": len(batches),
+        "best_elapsed_s": best,
+        "ingest_reads_per_s": reads_per_s,
+    }
+
+
+def bench_portal(cartons_per_lane: int, lanes: int) -> dict:
+    """Run a live conveyor portal; collect per-round provisional latencies."""
+    portal = conveyor_portal(
+        config=ConveyorConfig(lanes=lanes, cartons_per_lane=cartons_per_lane),
+        seed=SEED,
+        update_every_rounds=1,
+    )
+    updates = list(portal.updates())
+    provisional = updates[:-1]
+    final = updates[-1]
+    latencies = np.array([u.elapsed_s for u in provisional], dtype=float)
+    summary = {
+        "rounds": final.batches_ingested,
+        "reads": final.reads_ingested,
+        "provisional_updates": len(provisional),
+        "provisional_latency_s_mean": float(np.mean(latencies)),
+        "provisional_latency_s_median": float(np.median(latencies)),
+        "provisional_latency_s_p95": float(np.percentile(latencies, 95)),
+        "provisional_latency_s_max": float(np.max(latencies)),
+        "final_confidence": final.confidence,
+        "belt_order_accuracy": portal.belt_order_accuracy(),
+    }
+    print(
+        f"  portal: {summary['rounds']} rounds, {summary['reads']} reads | "
+        f"provisional latency mean {summary['provisional_latency_s_mean'] * 1e3:.2f} ms, "
+        f"p95 {summary['provisional_latency_s_p95'] * 1e3:.2f} ms | "
+        f"belt accuracy {summary['belt_order_accuracy']:.2f}"
+    )
+    return summary
+
+
+def verify_convergence(scene, tags, read_log) -> bool:
+    """Final streaming orderings must equal the batch pipeline's."""
+    channel = scene.reader_config.channel.channel_index
+    session = LocalizationSession(expected_tag_ids=tags.ids(), channel_index=channel)
+    for batch in read_log.iter_batches(256):
+        session.ingest_batch(batch)
+    final = session.finalize()
+    batch_result = BatchLocalizer(STPPConfig()).localize(
+        profiles_from_read_log(read_log, channel_index=channel),
+        expected_tag_ids=tags.ids(),
+    )
+    identical = (
+        final.result.x_ordering == batch_result.x_ordering
+        and final.result.y_ordering == batch_result.y_ordering
+    )
+    print(f"  convergence: streaming final == batch orderings: {identical}")
+    return identical
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--tags", type=int, default=60,
+        help="shelf population for the ingest-throughput scene (default 60)",
+    )
+    parser.add_argument(
+        "--ingest-repeats", type=int, default=5,
+        help="ingest timing repetitions; the best run is recorded (default 5)",
+    )
+    parser.add_argument(
+        "--cartons-per-lane", type=int, default=4,
+        help="portal conveyor batch size knob (default 4, 3 lanes)",
+    )
+    parser.add_argument("--out", type=Path, default=Path("BENCH_streaming.json"))
+    args = parser.parse_args()
+
+    print(f"ingest scene: {args.tags}-tag shelf | portal: 3-lane conveyor")
+    scene, tags, read_log = shelf_read_log(args.tags)
+
+    # Warm the code paths (imports, reference cache, numpy kernels).
+    bench_ingest(scene, tags, read_log, repeats=1)
+
+    ingest = bench_ingest(scene, tags, read_log, repeats=args.ingest_repeats)
+    portal = bench_portal(args.cartons_per_lane, lanes=3)
+    identical = verify_convergence(scene, tags, read_log)
+
+    payload = {
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "platform": platform.platform(),
+        "seed": SEED,
+        "ingest": {"tag_count": args.tags, **ingest},
+        "portal": portal,
+        # Headline fields (the acceptance criteria).
+        "ingest_reads_per_s": ingest["ingest_reads_per_s"],
+        "provisional_latency_s_mean": portal["provisional_latency_s_mean"],
+        "results_bit_identical": identical,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    if not identical:
+        raise SystemExit("streaming final diverged from the batch pipeline")
+
+
+if __name__ == "__main__":
+    main()

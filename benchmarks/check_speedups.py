@@ -12,7 +12,10 @@ engine's recorded win fails the build instead of silently shipping:
                                 comparison is conclusive (on a single-core
                                 host sharding can only add pool overhead, so
                                 the recorded ratio is not a regression
-                                signal).
+                                signal);
+* ``BENCH_streaming.json``    — the streaming session must ingest at least
+                                10k reads/s, and its final orderings must be
+                                bit-identical to the batch pipeline's.
 
 Every file also has to carry ``results_bit_identical: true`` where the field
 exists: a speedup from an engine that changed the results is not a speedup.
@@ -101,12 +104,34 @@ def check_experiments(path: Path, floor: float) -> None:
     )
 
 
+def check_streaming(path: Path, floor: float) -> None:
+    print(f"streaming service ({path}):")
+    payload = _load(path)
+    if payload is None:
+        return
+    reads_per_s = float(payload["ingest_reads_per_s"])
+    _require(
+        reads_per_s >= floor,
+        f"session ingest throughput {reads_per_s:,.0f} reads/s >= {floor:,.0f} reads/s",
+    )
+    _require(
+        bool(payload.get("results_bit_identical")),
+        "streaming final orderings bit-identical to batch pipeline",
+    )
+    latency = payload.get("provisional_latency_s_mean")
+    if latency is not None:
+        print(f"  info: provisional-ordering latency mean {float(latency) * 1e3:.2f} ms/round")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sweep", type=Path, default=Path("BENCH_sweep.json"))
     parser.add_argument("--dtw", type=Path, default=Path("BENCH_dtw.json"))
     parser.add_argument(
         "--experiments", type=Path, default=Path("BENCH_experiments.json")
+    )
+    parser.add_argument(
+        "--streaming", type=Path, default=Path("BENCH_streaming.json")
     )
     parser.add_argument(
         "--sweep-floor", type=float, default=5.0,
@@ -120,8 +145,14 @@ def main() -> None:
         "comparison is conclusive (multi-core host)",
     )
     parser.add_argument(
-        "--only", choices=("sweep", "dtw", "experiments"), default=None,
-        help="check a single record instead of all three",
+        "--streaming-floor", type=float, default=10_000.0,
+        help="minimum streaming-session ingest throughput in reads/s "
+        "(default 10000, the acceptance floor)",
+    )
+    parser.add_argument(
+        "--only", choices=("sweep", "dtw", "experiments", "streaming"),
+        default=None,
+        help="check a single record instead of all of them",
     )
     args = parser.parse_args()
 
@@ -131,6 +162,8 @@ def main() -> None:
         check_dtw(args.dtw, args.dtw_floor)
     if args.only in (None, "experiments"):
         check_experiments(args.experiments, args.experiments_floor)
+    if args.only in (None, "streaming"):
+        check_streaming(args.streaming, args.streaming_floor)
 
     if FAILURES:
         print(f"\n{len(FAILURES)} speedup floor(s) violated")

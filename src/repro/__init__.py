@@ -9,6 +9,9 @@ Public API highlights
 ---------------------
 * :class:`repro.core.STPPLocalizer` — the end-to-end relative localization
   pipeline (the paper's contribution).
+* :class:`repro.service.LocalizationSession` — the streaming facade: ingest
+  reads as they arrive, emit provisional orderings, converge to the batch
+  result.
 * :mod:`repro.simulation` — scene builders that stand in for the physical
   deployment.
 * :mod:`repro.baselines` — the four comparison schemes of the evaluation
@@ -19,7 +22,7 @@ Public API highlights
   paper table/figure.
 """
 
-from . import baselines, core, evaluation, motion, rf, rfid, simulation, workloads
+from . import baselines, core, evaluation, motion, rf, rfid, service, simulation, workloads
 from .core import STPPConfig, STPPLocalizer
 from .version import __version__
 
@@ -33,6 +36,7 @@ __all__ = [
     "motion",
     "rf",
     "rfid",
+    "service",
     "simulation",
     "workloads",
 ]

@@ -7,6 +7,7 @@ substrates) or to compare it against prior schemes (the baselines).
 
 from .dtw import (
     DTWResult,
+    ResumableSegmentAligner,
     accumulate_cost,
     accumulate_cost_batch,
     dtw_align,
@@ -40,6 +41,7 @@ from .reference import (
 from .result import AxisOrdering, LocalizationResult
 from .segmentation import (
     CoarseRepresentation,
+    IncrementalSegmenter,
     Segment,
     coarse_representation,
     segment_distance_matrix,
@@ -73,6 +75,8 @@ __all__ = [
     "build_representations",
     "canonical_reference",
     "coarse_representation",
+    "IncrementalSegmenter",
+    "ResumableSegmentAligner",
     "dtw_align",
     "fit_vzone",
     "fit_vzone_profile",

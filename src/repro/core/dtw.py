@@ -471,6 +471,144 @@ def segmented_dtw_align_batch(
     )
 
 
+class ResumableSegmentAligner:
+    """Subsequence segmented DTW that resumes as the query grows (streaming).
+
+    The accumulated-cost matrix of subsequence DTW has a crucial property:
+    column ``j`` depends only on columns ``<= j``.  A growing *measured*
+    segmentation therefore never invalidates the columns of segments that are
+    already **stable** (closed by the incremental segmenter — no future sample
+    can change them), so this aligner caches the accumulation prefix over the
+    stable columns and, on every refresh, computes only
+
+    * the columns of segments that became stable since the last refresh, which
+      are appended to the cache, and
+    * the (at most one, usually) volatile tail columns, recomputed into
+      scratch space.
+
+    Per refresh that is O(rows × new_columns) instead of O(rows × columns),
+    which is what makes per-round provisional orderings cheap.
+
+    **Bit-identity contract**: every cell is computed with the same operations
+    on the same operands as :func:`accumulate_cost` (column 0 via the same
+    strictly sequential ``np.add.accumulate``; interior cells as
+    ``weighted + min(diag, up, left)``), and the path comes from the shared
+    :func:`_backtrack`.  The result of :meth:`align` is therefore bit-identical
+    to ``segmented_dtw_align(reference_segments, query_segments)`` — pinned by
+    ``tests/test_streaming.py``.
+    """
+
+    def __init__(self, reference_segments: list[Segment]) -> None:
+        if not reference_segments:
+            raise ValueError("reference segmentation must be non-empty")
+        self._ref_min, self._ref_max = segment_bounds(reference_segments)
+        self._ref_durations = segment_durations(reference_segments)
+        self._rows = len(reference_segments)
+        self._cost = np.empty((self._rows, 8), dtype=float)
+        self._cached_cols = 0
+
+    @property
+    def cached_columns(self) -> int:
+        """Number of stable query columns whose accumulation is cached."""
+        return self._cached_cols
+
+    def reset(self) -> None:
+        """Drop the cached prefix (used when a tag's stream is rebuilt)."""
+        self._cached_cols = 0
+
+    def _weighted_column(self, segment: Segment) -> np.ndarray:
+        """Weighted distance of every reference segment against ``segment``.
+
+        Built from the same :func:`range_gap_matrix` /
+        :func:`duration_weight_matrix` helpers the batch aligner uses (as
+        one-column matrices), so the two paths share a single source of
+        truth for the paper's distance and weight formulas.
+        """
+        distance = range_gap_matrix(
+            self._ref_min,
+            self._ref_max,
+            np.array([segment.min_phase_rad]),
+            np.array([segment.max_phase_rad]),
+        )[:, 0]
+        weights = duration_weight_matrix(
+            self._ref_durations, np.array([max(segment.duration_s, 1e-6)])
+        )[:, 0]
+        return distance * weights
+
+    def _accumulate_column(
+        self, weighted: np.ndarray, previous: np.ndarray | None
+    ) -> np.ndarray:
+        """One column of the subsequence-DTW recurrence.
+
+        ``previous`` is the accumulated column to the left (None for the
+        first column, which is a plain running sum in both start modes).
+        """
+        if previous is None:
+            return np.add.accumulate(weighted)
+        column = np.empty(self._rows, dtype=float)
+        # Free query start: the first reference row restarts the match.
+        column[0] = weighted[0]
+        prev = previous.tolist()
+        w = weighted.tolist()
+        up = w[0]
+        for i in range(1, self._rows):
+            best = min(prev[i - 1], up, prev[i])  # diag, up, left
+            up = w[i] + best
+            column[i] = up
+        return column
+
+    def _ensure_capacity(self, columns: int) -> None:
+        if self._cost.shape[1] >= columns:
+            return
+        capacity = self._cost.shape[1]
+        while capacity < columns:
+            capacity *= 2
+        grown = np.empty((self._rows, capacity), dtype=float)
+        grown[:, : self._cached_cols] = self._cost[:, : self._cached_cols]
+        self._cost = grown
+
+    def align(
+        self, query_segments: list[Segment], stable_count: int | None = None
+    ) -> DTWResult:
+        """Align the reference against the current query segmentation.
+
+        Parameters
+        ----------
+        query_segments:
+            The measured profile's segmentation so far (stable prefix first).
+        stable_count:
+            How many leading segments are stable (from
+            :meth:`~repro.core.segmentation.IncrementalSegmenter.stable_count`).
+            Defaults to all but the last segment.  Must not shrink between
+            calls — a shrinking prefix means the stream was rebuilt, in which
+            case call :meth:`reset` first.
+        """
+        columns = len(query_segments)
+        if columns == 0:
+            raise ValueError("query segmentation must be non-empty")
+        if stable_count is None:
+            stable_count = columns - 1
+        stable = min(stable_count, columns)
+        if stable < self._cached_cols:
+            raise ValueError(
+                f"stable prefix shrank from {self._cached_cols} to {stable} "
+                "columns; call reset() after rebuilding a stream"
+            )
+
+        # Volatile tail columns are written into the same buffer past the
+        # cached prefix (no scratch matrix, no prefix copy — the per-refresh
+        # cost really is O(rows × new columns)); they are overwritten on the
+        # next refresh because _cached_cols does not advance past `stable`.
+        self._ensure_capacity(columns)
+        for j in range(self._cached_cols, columns):
+            previous = self._cost[:, j - 1] if j > 0 else None
+            self._cost[:, j] = self._accumulate_column(
+                self._weighted_column(query_segments[j]), previous
+            )
+        self._cached_cols = stable
+        return _result_from_cost(self._cost[:, :columns], subsequence=True)
+
+
 def warp_query_to_reference(result: DTWResult, query_values: np.ndarray) -> np.ndarray:
     """Re-sample ``query_values`` onto the reference index axis along the path.
 

@@ -126,6 +126,131 @@ def segment_profile(
     return segments
 
 
+class IncrementalSegmenter:
+    """Streaming counterpart of :func:`segment_profile`.
+
+    Maintains the coarse segmentation of a growing phase profile with
+    amortized O(1) work per appended sample: a segment *closes* as soon as its
+    fate is sealed — it reached ``window_size`` samples, or the next sample
+    sits across a 0/2π jump — and closed segments are never touched again.
+    Only the open tail (at most ``window_size - 1`` samples) is re-described
+    when :meth:`segments` is called.
+
+    The produced segmentation is **identical** to running
+    :func:`segment_profile` on the full profile at any point: both close a
+    segment at the first boundary where the window is full or a jump occurs,
+    and both emit the trailing partial segment.  The only streaming-specific
+    notion is :meth:`stable_count`: the number of segments that can never
+    change as more samples arrive, which is what lets the resumable DTW
+    aligner (:class:`~repro.core.dtw.ResumableSegmentAligner`) cache its
+    accumulation prefix.
+    """
+
+    __slots__ = (
+        "window_size",
+        "jump_threshold_rad",
+        "_closed",
+        "_count",
+        "_prev_phase",
+        "_open_start",
+        "_open_count",
+        "_open_start_time",
+        "_open_end_time",
+        "_open_min",
+        "_open_max",
+    )
+
+    def __init__(
+        self, window_size: int, jump_threshold_rad: float = 0.75 * TWO_PI
+    ) -> None:
+        if window_size < 1:
+            raise ValueError(f"window size must be >= 1, got {window_size}")
+        self.window_size = window_size
+        self.jump_threshold_rad = jump_threshold_rad
+        self._closed: list[Segment] = []
+        self._count = 0
+        self._prev_phase = 0.0
+        self._reset_open(0)
+
+    def _reset_open(self, start: int) -> None:
+        self._open_start = start
+        self._open_count = 0
+        self._open_start_time = 0.0
+        self._open_end_time = 0.0
+        self._open_min = float("inf")
+        self._open_max = float("-inf")
+
+    def _close_open(self) -> None:
+        self._closed.append(
+            Segment(
+                start_index=self._open_start,
+                end_index=self._open_start + self._open_count,
+                start_time_s=self._open_start_time,
+                end_time_s=self._open_end_time,
+                min_phase_rad=self._open_min,
+                max_phase_rad=self._open_max,
+            )
+        )
+        self._reset_open(self._open_start + self._open_count)
+
+    def append(self, timestamp_s: float, phase_rad: float) -> None:
+        """Feed one sample (samples must arrive in timestamp order)."""
+        timestamp_s = float(timestamp_s)
+        phase_rad = float(phase_rad)
+        if (
+            self._open_count > 0
+            and abs(phase_rad - self._prev_phase) > self.jump_threshold_rad
+        ):
+            # A 0/2π wrap sits between the previous sample and this one:
+            # the open segment closes at that boundary (paper Figure 8).
+            self._close_open()
+        if self._open_count == 0:
+            self._open_start_time = timestamp_s
+        self._open_count += 1
+        self._open_end_time = timestamp_s
+        if phase_rad < self._open_min:
+            self._open_min = phase_rad
+        if phase_rad > self._open_max:
+            self._open_max = phase_rad
+        self._prev_phase = phase_rad
+        self._count += 1
+        if self._open_count >= self.window_size:
+            self._close_open()
+
+    def extend(self, timestamps_s: np.ndarray, phases_rad: np.ndarray) -> None:
+        """Feed a batch of samples (in timestamp order)."""
+        for timestamp_s, phase_rad in zip(timestamps_s, phases_rad):
+            self.append(timestamp_s, phase_rad)
+
+    @property
+    def sample_count(self) -> int:
+        """Total samples consumed so far."""
+        return self._count
+
+    def stable_count(self) -> int:
+        """Number of leading segments that no future sample can change."""
+        return len(self._closed)
+
+    def segments(self) -> list[Segment]:
+        """The current segmentation: closed segments plus the open tail.
+
+        Equals ``segment_profile(profile_so_far, window_size)`` exactly.  The
+        returned list shares the closed-segment prefix, so callers must not
+        mutate it.
+        """
+        if self._open_count == 0:
+            return list(self._closed)
+        tail = Segment(
+            start_index=self._open_start,
+            end_index=self._open_start + self._open_count,
+            start_time_s=self._open_start_time,
+            end_time_s=self._open_end_time,
+            min_phase_rad=self._open_min,
+            max_phase_rad=self._open_max,
+        )
+        return [*self._closed, tail]
+
+
 def segment_range_distance(a: Segment, b: Segment) -> float:
     """Distance between two segments: the gap between their phase ranges.
 

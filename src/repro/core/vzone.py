@@ -184,6 +184,26 @@ class VZoneDetector:
                 detections[profile.tag_id] = vzone
         return detections
 
+    def detect_from_segmented_alignment(
+        self,
+        profile: PhaseProfile,
+        measured_segments: list[Segment],
+        result: DTWResult,
+    ) -> VZone | None:
+        """Build a V-zone from an externally computed segmented-DTW alignment.
+
+        The streaming session computes alignments with the resumable aligner
+        (:class:`~repro.core.dtw.ResumableSegmentAligner`) as profiles grow;
+        this method turns such an alignment into a detection through exactly
+        the same window/fit/fallback path as :meth:`detect_all` — including
+        the longest-run fallback — so a streaming detection from the final
+        alignment is bit-identical to the batch detection.
+        """
+        vzone = self._vzone_from_segmented(profile, measured_segments, result)
+        if self.fallback_to_longest_run:
+            vzone = self._better_of(vzone, self._detect_longest_run(profile))
+        return vzone
+
     def _detect_all_batched(self, items: "list[PhaseProfile]") -> dict[str, VZone]:
         """Batched DTW detection over every usable profile at once."""
         usable = [p for p in items if len(p) >= self.min_profile_samples]
@@ -193,7 +213,7 @@ class VZoneDetector:
             indices = [k for k, segs in enumerate(segmentations) if segs]
             if indices:
                 results = segmented_dtw_align_batch(
-                    self._reference_segmentation(),
+                    self.reference_segmentation(),
                     [segmentations[k] for k in indices],
                     subsequence=True,
                 )
@@ -219,7 +239,12 @@ class VZoneDetector:
 
     # ------------------------------------------------------- DTW strategies
 
-    def _reference_segmentation(self) -> list[Segment]:
+    def reference_segmentation(self) -> list[Segment]:
+        """The reference profile's segmentation (computed once, cached).
+
+        Public because the streaming session seeds its per-tag resumable
+        aligners with it; callers must not mutate the returned list.
+        """
         if self._reference_segments is None:
             self._reference_segments = segment_profile(
                 self.reference.profile, self.window_size
@@ -244,7 +269,7 @@ class VZoneDetector:
         if not measured_segments:
             return None
         result = segmented_dtw_align(
-            self._reference_segmentation(), measured_segments, subsequence=True
+            self.reference_segmentation(), measured_segments, subsequence=True
         )
         return self._vzone_from_segmented(profile, measured_segments, result)
 
@@ -255,7 +280,7 @@ class VZoneDetector:
         result: DTWResult,
     ) -> VZone | None:
         """Turn a segmented-DTW alignment into a V-zone window."""
-        reference_segments = self._reference_segmentation()
+        reference_segments = self.reference_segmentation()
         ref_vz_start, ref_vz_end = self._reference_vzone_segment_range(reference_segments)
         try:
             q_start_seg, q_end_seg = result.query_indices_for_reference_range(

@@ -174,6 +174,32 @@ def evaluate_ordering(
     )
 
 
+def ordering_agreement(
+    previous_order: Sequence[str], current_order: Sequence[str]
+) -> float:
+    """Pairwise agreement between two reported orderings of the same tags.
+
+    The fraction of tag pairs present in **both** orderings whose relative
+    order is the same — a Kendall-tau-style stability signal with no ground
+    truth involved.  The streaming session uses it to grade how much a
+    provisional ordering is still moving between refreshes: 1.0 means the
+    common tags kept their relative order, 0.0 means it fully reversed.
+    Returns 1.0 when fewer than two tags are common (nothing to disagree on).
+    """
+    previous_rank = {tag_id: rank for rank, tag_id in enumerate(previous_order)}
+    common = [tag_id for tag_id in current_order if tag_id in previous_rank]
+    if len(common) < 2:
+        return 1.0
+    agreeing = 0
+    total = 0
+    for i, tag_a in enumerate(common):
+        for tag_b in common[i + 1 :]:
+            total += 1
+            if previous_rank[tag_a] < previous_rank[tag_b]:
+                agreeing += 1
+    return agreeing / total
+
+
 def detection_success_rate(successes: Sequence[bool]) -> float:
     """Fraction of trials flagged as successful (Table 2)."""
     if not successes:

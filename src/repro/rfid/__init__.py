@@ -18,7 +18,7 @@ from .aloha import (
 from .coupling import NeighborGrid
 from .epc import EPC, EPC_BITS, generate_epcs
 from .reader import ReaderConfig, RFIDReader
-from .reading import ReadLog, TagRead
+from .reading import ReadBatch, ReadLog, TagRead
 from .tag import (
     ALIEN_ALN_9634,
     ALIEN_ALN_9662,
@@ -51,6 +51,7 @@ __all__ = [
     "PAPER_TAG_MODELS",
     "QAlgorithm",
     "RFIDReader",
+    "ReadBatch",
     "ReadLog",
     "ReaderConfig",
     "SlotEvent",

@@ -44,7 +44,7 @@ from ..rf.multipath import Reflector
 from ..rf.phase_model import DeviceOffsets
 from .aloha import FrameSlottedAloha, SlotOutcome
 from .coupling import NeighborGrid
-from .reading import ReadLog, TagRead
+from .reading import ReadBatch, ReadLog, TagRead
 from .tag import Tag, TagCollection
 
 AntennaPositionFn = Callable[[float], Point3D]
@@ -333,6 +333,95 @@ class RFIDReader:
         rng: np.random.Generator,
     ) -> ReadLog:
         """Round-batched sweep: vectorized geometry, RF kernel, and logging."""
+        # Column accumulators for the read log.
+        out_times: list[np.ndarray] = []
+        out_ids: list[str] = []
+        out_phases: list[np.ndarray] = []
+        out_rssis: list[np.ndarray] = []
+
+        for times, ids, phases, rssis in self._batched_rounds(
+            tags, antenna_position, duration_s, tag_position, rng
+        ):
+            out_times.append(times)
+            out_ids.extend(ids)
+            out_phases.append(phases)
+            out_rssis.append(rssis)
+
+        if out_times:
+            timestamps = np.concatenate(out_times)
+            phases = np.concatenate(out_phases)
+            rssis = np.concatenate(out_rssis)
+        else:
+            timestamps = phases = rssis = np.empty(0)
+        order = np.argsort(timestamps, kind="stable")
+        log = ReadLog()
+        log.extend_columns(
+            timestamps[order],
+            [out_ids[i] for i in order],
+            phases[order],
+            rssis[order],
+            channel_index=self.config.channel.channel_index,
+            antenna_port=self.config.antenna_port,
+        )
+        return log
+
+    def sweep_stream(
+        self,
+        tags: TagCollection,
+        antenna_position: AntennaPositionFn,
+        duration_s: float,
+        tag_position: TagPositionFn | None = None,
+        rng: np.random.Generator | None = None,
+    ):
+        """Run a sweep and yield one :class:`ReadBatch` per inventory round.
+
+        The streaming entry point: instead of returning the finished
+        :class:`ReadLog`, reads are emitted round by round as they are
+        decoded — in a real deployment this is the LLRP report stream the
+        reader pushes while the antenna is still moving.  Rounds that decode
+        no readable reply yield nothing.  Reads within a batch are
+        stable-sorted by timestamp.
+
+        The round loop, RF kernel, and rng draw order are shared with
+        :meth:`sweep`, so concatenating the yielded batches reproduces the
+        batched sweep's read log read for read (pinned by
+        ``tests/test_streaming.py``).
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        rng = rng if rng is not None else np.random.default_rng()
+        round_index = 0
+        for times, ids, phases, rssis in self._batched_rounds(
+            tags, antenna_position, duration_s, tag_position, rng
+        ):
+            order = np.argsort(times, kind="stable")
+            yield ReadBatch(
+                timestamps_s=times[order],
+                tag_ids=tuple(ids[i] for i in order),
+                phases_rad=phases[order],
+                rssi_dbm=rssis[order],
+                channel_index=self.config.channel.channel_index,
+                antenna_port=self.config.antenna_port,
+                round_index=round_index,
+            )
+            round_index += 1
+
+    def _batched_rounds(
+        self,
+        tags: TagCollection,
+        antenna_position: AntennaPositionFn,
+        duration_s: float,
+        tag_position: TagPositionFn | None,
+        rng: np.random.Generator,
+    ):
+        """The round-batched sweep loop, one ``(times, ids, phases, rssis)``
+        tuple per inventory round with at least one readable reply.
+
+        Shared by :meth:`_sweep_batched` (which concatenates and globally
+        sorts) and :meth:`sweep_stream` (which emits per-round batches), so
+        there is exactly one implementation of the round loop and both paths
+        consume the rng identically.
+        """
         config = self.config
         channel = config.channel
         zone = config.reading_zone
@@ -361,12 +450,6 @@ class RFIDReader:
             if coupling_on:
                 grid = NeighborGrid(base_positions, radius)
 
-        # Column accumulators for the read log.
-        out_times: list[np.ndarray] = []
-        out_ids: list[str] = []
-        out_phases: list[np.ndarray] = []
-        out_rssis: list[np.ndarray] = []
-
         clock = 0.0
         while clock < duration_s:
             antenna_pos = antenna_position(clock)
@@ -390,7 +473,7 @@ class RFIDReader:
                 success_times.append(read_time)
 
             if success_ids:
-                self._observe_round(
+                observed = self._observe_round(
                     rng=rng,
                     channel=channel,
                     provider=provider,
@@ -405,34 +488,14 @@ class RFIDReader:
                     radius=radius,
                     success_ids=success_ids,
                     success_times=success_times,
-                    out_times=out_times,
-                    out_ids=out_ids,
-                    out_phases=out_phases,
-                    out_rssis=out_rssis,
                 )
+                if observed is not None:
+                    yield observed
 
             round_time = self.protocol.round_duration_s(events)
             if round_time <= 0:
                 raise RuntimeError("inventory round produced non-positive duration")
             clock += round_time
-
-        if out_times:
-            timestamps = np.concatenate(out_times)
-            phases = np.concatenate(out_phases)
-            rssis = np.concatenate(out_rssis)
-        else:
-            timestamps = phases = rssis = np.empty(0)
-        order = np.argsort(timestamps, kind="stable")
-        log = ReadLog()
-        log.extend_columns(
-            timestamps[order],
-            [out_ids[i] for i in order],
-            phases[order],
-            rssis[order],
-            channel_index=channel.channel_index,
-            antenna_port=config.antenna_port,
-        )
-        return log
 
     def _observe_round(
         self,
@@ -450,12 +513,12 @@ class RFIDReader:
         radius: float,
         success_ids: list[str],
         success_times: list[float],
-        out_times: list[np.ndarray],
-        out_ids: list[str],
-        out_phases: list[np.ndarray],
-        out_rssis: list[np.ndarray],
-    ) -> None:
-        """Observe one round's successful slots as a single vectorized batch."""
+    ) -> "tuple[np.ndarray, list[str], np.ndarray, np.ndarray] | None":
+        """Observe one round's successful slots as a single vectorized batch.
+
+        Returns the round's readable reads as ``(times, ids, phases, rssis)``
+        columns in slot order, or ``None`` when nothing was readable.
+        """
         count = len(success_ids)
         tag_indices = np.array([index_of[tag_id] for tag_id in success_ids], dtype=np.intp)
         times = np.array(success_times, dtype=float)
@@ -537,9 +600,11 @@ class RFIDReader:
 
         keep = observation.readable
         if not np.any(keep):
-            return
+            return None
         kept = np.nonzero(keep)[0]
-        out_times.append(times[kept])
-        out_ids.extend(success_ids[i] for i in kept)
-        out_phases.append(observation.phase_rad[kept])
-        out_rssis.append(observation.rssi_dbm[kept])
+        return (
+            times[kept],
+            [success_ids[i] for i in kept],
+            observation.phase_rad[kept],
+            observation.rssi_dbm[kept],
+        )

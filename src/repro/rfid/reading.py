@@ -44,6 +44,46 @@ class TagRead:
     """Antenna port that produced the read (multi-antenna baselines use >1)."""
 
 
+@dataclass(frozen=True)
+class ReadBatch:
+    """A columnar batch of reads sharing one channel and antenna port.
+
+    The unit of streaming ingestion: :meth:`RFIDReader.sweep_stream
+    <repro.rfid.reader.RFIDReader.sweep_stream>` yields one per inventory
+    round, :meth:`ReadLog.iter_batches` replays a finished log as batches, and
+    :class:`~repro.simulation.streaming.StreamingCollector` consumes them
+    without materialising per-read objects.
+    """
+
+    timestamps_s: np.ndarray
+    tag_ids: tuple[str, ...]
+    phases_rad: np.ndarray
+    rssi_dbm: np.ndarray
+    channel_index: int
+    antenna_port: int = 1
+    round_index: int = -1
+    """Inventory round that produced the batch (-1 for replayed chunks)."""
+
+    def __post_init__(self) -> None:
+        timestamps = np.asarray(self.timestamps_s, dtype=float)
+        phases = np.asarray(self.phases_rad, dtype=float)
+        rssis = np.asarray(self.rssi_dbm, dtype=float)
+        object.__setattr__(self, "timestamps_s", timestamps)
+        object.__setattr__(self, "phases_rad", phases)
+        object.__setattr__(self, "rssi_dbm", rssis)
+        object.__setattr__(self, "tag_ids", tuple(self.tag_ids))
+        count = len(self.tag_ids)
+        if timestamps.shape != (count,) or phases.shape != (count,) or rssis.shape != (count,):
+            raise ValueError(
+                "column lengths disagree: "
+                f"{count} ids vs {timestamps.shape} timestamps, "
+                f"{phases.shape} phases, {rssis.shape} rssis"
+            )
+
+    def __len__(self) -> int:
+        return len(self.tag_ids)
+
+
 class ReadLog:
     """An append-only, columnar log of reads from one sweep."""
 
@@ -119,6 +159,48 @@ class ReadLog:
         self._channels.extend([int(channel_index)] * count)
         self._ports.extend([int(antenna_port)] * count)
         self._invalidate()
+
+    def extend_batch(self, batch: ReadBatch) -> None:
+        """Append one columnar :class:`ReadBatch` to the log."""
+        self.extend_columns(
+            batch.timestamps_s,
+            list(batch.tag_ids),
+            batch.phases_rad,
+            batch.rssi_dbm,
+            channel_index=batch.channel_index,
+            antenna_port=batch.antenna_port,
+        )
+
+    def iter_batches(self, batch_size: int = 256) -> Iterator[ReadBatch]:
+        """Replay the log as columnar batches of up to ``batch_size`` reads.
+
+        Batches preserve log order, so replaying a time-sorted log into a
+        streaming consumer reproduces the live ingestion order.  A batch never
+        mixes channels or antenna ports (it is split at every change), so each
+        batch is a valid :class:`ReadBatch`.
+        """
+        if batch_size < 1:
+            raise ValueError(f"batch size must be >= 1, got {batch_size}")
+        columns = self.columns()
+        total = len(self)
+        start = 0
+        while start < total:
+            stop = min(start + batch_size, total)
+            channel = self._channels[start]
+            port = self._ports[start]
+            for index in range(start + 1, stop):
+                if self._channels[index] != channel or self._ports[index] != port:
+                    stop = index
+                    break
+            yield ReadBatch(
+                timestamps_s=columns["timestamp_s"][start:stop],
+                tag_ids=tuple(self._tag_ids[start:stop]),
+                phases_rad=columns["phase_rad"][start:stop],
+                rssi_dbm=columns["rssi_dbm"][start:stop],
+                channel_index=channel,
+                antenna_port=port,
+            )
+            start = stop
 
     @classmethod
     def from_columns(

@@ -1,0 +1,15 @@
+"""Streaming localization service: sessions over live read streams.
+
+The serving layer of the repository: where :mod:`repro.core` is the paper's
+algorithm and :mod:`repro.evaluation` the offline harness, this package is
+the long-running entry point a deployment would embed — ingest reads as the
+reader reports them, emit provisional orderings mid-sweep, converge to the
+exact batch result when the sweep completes.  See ``docs/streaming.md``.
+"""
+
+from .session import LocalizationSession, StreamingUpdate
+
+__all__ = [
+    "LocalizationSession",
+    "StreamingUpdate",
+]

@@ -1,0 +1,345 @@
+"""The streaming localization service (facade over the incremental engines).
+
+A :class:`LocalizationSession` multiplexes many concurrent tag streams: reads
+are ingested as they arrive (singly, or as columnar
+:class:`~repro.rfid.reading.ReadBatch` batches straight from
+:meth:`RFIDReader.sweep_stream <repro.rfid.reader.RFIDReader.sweep_stream>`),
+and at any instant the session can emit a **provisional** ordering of the
+tags seen so far, together with a confidence grade.  Three incremental
+engines make a refresh cheap:
+
+* the :class:`~repro.simulation.streaming.StreamingCollector` maintains
+  per-tag sample buffers with amortized O(1) appends;
+* an :class:`~repro.core.segmentation.IncrementalSegmenter` per tag extends
+  the coarse segmentation as samples arrive instead of recomputing it;
+* a :class:`~repro.core.dtw.ResumableSegmentAligner` per tag reuses the
+  cached DTW accumulation prefix over the segments that can no longer change,
+  so each refresh pays only for the columns that grew.
+
+**Convergence guarantee**: every engine above is bit-identical to its batch
+counterpart, so once the stream ends, :meth:`LocalizationSession.finalize`
+produces exactly the ordering the batch pipeline
+(:class:`~repro.core.localizer.BatchLocalizer` over
+:func:`~repro.simulation.collector.profiles_from_read_log`) computes from the
+same reads — pinned across the library, airport, and warehouse workloads by
+``tests/test_streaming.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.dtw import ResumableSegmentAligner
+from ..core.localizer import STPPConfig, STPPLocalizer
+from ..core.ordering_x import order_tags_x
+from ..core.ordering_y import order_tags_y
+from ..core.phase_profile import PhaseProfile
+from ..core.result import LocalizationResult
+from ..core.segmentation import IncrementalSegmenter
+from ..core.vzone import VZone
+from ..evaluation.metrics import ordering_agreement
+from ..rfid.reading import ReadBatch, TagRead
+from ..simulation.streaming import StreamingCollector
+
+
+@dataclass(frozen=True)
+class StreamingUpdate:
+    """One provisional (or final) localization emitted by a session."""
+
+    update_index: int
+    """Sequence number of this update within the session (0-based)."""
+
+    reads_ingested: int
+    """Total reads the session had consumed when the update was computed."""
+
+    batches_ingested: int
+    """Total read batches (e.g. inventory rounds) consumed so far."""
+
+    result: LocalizationResult
+    """Orderings over the tags seen so far (the final batch result once the
+    stream has completed and :meth:`LocalizationSession.finalize` ran)."""
+
+    ordered_fraction: float
+    """Fraction of the expected population that received an X rank."""
+
+    agreement: float
+    """Pairwise agreement of this X ordering with the previous update's
+    (1.0 for the first update)."""
+
+    confidence: float
+    """``ordered_fraction * agreement`` — 1.0 means every expected tag is
+    ordered and the ordering has stopped moving between refreshes."""
+
+    elapsed_s: float
+    """Wall-clock cost of computing this update (not of ingestion)."""
+
+    final: bool = False
+    """True for the update returned by :meth:`LocalizationSession.finalize`."""
+
+
+@dataclass
+class _TagPipeline:
+    """Incremental per-tag state: segmentation + resumable DTW alignment."""
+
+    segmenter: IncrementalSegmenter
+    aligner: ResumableSegmentAligner
+    consumed: int = 0
+    generation: int = 0
+    vzone: VZone | None = None
+    vzone_sample_count: int = -1
+
+
+class LocalizationSession:
+    """Streaming relative localization of many concurrent tag streams.
+
+    Parameters
+    ----------
+    config:
+        STPP pipeline parameters.  Streaming requires the paper's default
+        ``detection_method="segmented_dtw"`` — the other strategies have no
+        incremental alignment state (see ``docs/streaming.md``).
+    expected_tag_ids:
+        The full tag population, when known up front.  Tags outside it are
+        ignored (e.g. Landmarc reference tags sharing the air interface);
+        expected tags never seen are reported in ``unordered_ids`` and hold
+        the ``ordered_fraction`` below 1.  Defaults to "whatever has been
+        seen so far".
+    pivot_tag_id:
+        Optional pivot for the Y-axis comparison (as in
+        :meth:`~repro.core.localizer.STPPLocalizer.localize`).
+    channel_index:
+        Channel label for profiles; derived from the reads when omitted.
+    out_of_order:
+        ``"reorder"`` (default) or ``"raise"`` — what to do with a read whose
+        timestamp precedes its tag's latest.  Reordering is deterministic
+        (stable sort by timestamp, matching the batch path) but rebuilds the
+        affected tag's incremental state.
+    """
+
+    def __init__(
+        self,
+        config: STPPConfig | None = None,
+        expected_tag_ids: "list[str] | None" = None,
+        pivot_tag_id: str | None = None,
+        channel_index: int | None = None,
+        out_of_order: str = "reorder",
+    ) -> None:
+        config = config if config is not None else STPPConfig()
+        if config.detection_method != "segmented_dtw":
+            raise ValueError(
+                "streaming sessions require detection_method='segmented_dtw' "
+                f"(got {config.detection_method!r}); the other strategies have "
+                "no incremental alignment state — run them through "
+                "BatchLocalizer instead"
+            )
+        self.config = config
+        self._localizer = STPPLocalizer(config)
+        self._detector = self._localizer.detector
+        self._expected = None if expected_tag_ids is None else list(expected_tag_ids)
+        self._pivot_tag_id = pivot_tag_id
+        self.collector = StreamingCollector(
+            channel_index=channel_index, out_of_order=out_of_order
+        )
+        self._pipelines: dict[str, _TagPipeline] = {}
+        self._batches = 0
+        self._updates = 0
+        self._previous_x: tuple[str, ...] | None = None
+        self._finalized: StreamingUpdate | None = None
+
+    # -- ingestion ---------------------------------------------------------
+
+    @property
+    def reads_ingested(self) -> int:
+        """Total reads consumed so far."""
+        return self.collector.read_count
+
+    @property
+    def batches_ingested(self) -> int:
+        """Total read batches consumed so far."""
+        return self._batches
+
+    def _check_open(self) -> None:
+        if self._finalized is not None:
+            raise RuntimeError("session already finalized; no further ingestion")
+
+    def ingest_batch(self, batch: ReadBatch) -> None:
+        """Ingest one columnar read batch (e.g. one inventory round)."""
+        self._check_open()
+        self.collector.ingest_batch(batch)
+        self._batches += 1
+
+    def ingest_columns(
+        self,
+        timestamps_s: np.ndarray,
+        tag_ids: "tuple[str, ...] | list[str]",
+        phases_rad: np.ndarray,
+        rssi_dbm: np.ndarray,
+        channel_index: int = 6,
+    ) -> None:
+        """Ingest parallel read columns sharing one reader channel."""
+        self._check_open()
+        self.collector.ingest_columns(
+            timestamps_s, tag_ids, phases_rad, rssi_dbm, channel_index=channel_index
+        )
+        self._batches += 1
+
+    def ingest_read(self, read: TagRead) -> None:
+        """Ingest one decoded reply."""
+        self._check_open()
+        self.collector.ingest_read(read)
+
+    def ingest_reads(self, reads) -> None:
+        """Ingest an iterable of reads (arrival order preserved)."""
+        self._check_open()
+        self.collector.ingest(reads)
+
+    # -- incremental detection --------------------------------------------
+
+    def _pipeline_for(self, tag_id: str) -> _TagPipeline:
+        pipeline = self._pipelines.get(tag_id)
+        if pipeline is None:
+            pipeline = _TagPipeline(
+                segmenter=IncrementalSegmenter(self.config.window_size),
+                aligner=ResumableSegmentAligner(
+                    self._detector.reference_segmentation()
+                ),
+            )
+            self._pipelines[tag_id] = pipeline
+        return pipeline
+
+    def _detect(self, tag_id: str, profile: PhaseProfile) -> VZone | None:
+        """Incremental V-zone detection for one tag's current profile."""
+        stream = self.collector.stream(tag_id)
+        pipeline = self._pipeline_for(tag_id)
+        if pipeline.generation != stream.reorders:
+            # A late read re-sorted this tag's samples: the incremental
+            # prefix is void, rebuild it from the (deterministically
+            # re-sorted) stream.
+            pipeline.segmenter = IncrementalSegmenter(self.config.window_size)
+            pipeline.aligner.reset()
+            pipeline.consumed = 0
+            pipeline.generation = stream.reorders
+            pipeline.vzone_sample_count = -1
+        total = len(profile)
+        if pipeline.consumed < total:
+            pipeline.segmenter.extend(
+                profile.timestamps_s[pipeline.consumed :],
+                profile.phases_rad[pipeline.consumed :],
+            )
+            pipeline.consumed = total
+        if pipeline.vzone_sample_count == total:
+            return pipeline.vzone
+        segments = pipeline.segmenter.segments()
+        if segments:
+            result = pipeline.aligner.align(
+                segments, pipeline.segmenter.stable_count()
+            )
+            vzone = self._detector.detect_from_segmented_alignment(
+                profile, segments, result
+            )
+        else:
+            vzone = self._detector.detect(profile)
+        pipeline.vzone = vzone
+        pipeline.vzone_sample_count = total
+        return vzone
+
+    def _localize(self) -> LocalizationResult:
+        """Run the ordering stages over the current incremental detections.
+
+        Mirrors :meth:`STPPLocalizer.localize` exactly — same profile order,
+        same expected-population filtering, same ordering calls — with V-zone
+        detection served from the per-tag incremental pipelines.
+        """
+        expected_set = None if self._expected is None else set(self._expected)
+        profile_map: dict[str, PhaseProfile] = {}
+        for tag_id in self.collector.tag_ids():
+            if expected_set is not None and tag_id not in expected_set:
+                continue
+            profile_map[tag_id] = self.collector.profile(tag_id)
+        expected = self._expected if self._expected is not None else list(profile_map)
+
+        vzones: dict[str, VZone] = {}
+        for tag_id, profile in profile_map.items():
+            if len(profile) < self.config.min_profile_samples:
+                continue
+            vzone = self._detect(tag_id, profile)
+            if vzone is not None:
+                vzones[tag_id] = vzone
+
+        x_ordering = order_tags_x(vzones, all_tag_ids=expected)
+        y_ordering = order_tags_y(
+            profile_map,
+            vzones,
+            config=self.config.y_config(),
+            all_tag_ids=expected,
+            pivot_tag_id=self._pivot_tag_id,
+        )
+        return LocalizationResult(
+            x_ordering=x_ordering,
+            y_ordering=y_ordering,
+            vzones=vzones,
+            metadata={
+                "detection_method": self.config.detection_method,
+                "window_size": self.config.window_size,
+                "y_value_mode": self.config.y_value_mode,
+                "profile_count": len(profile_map),
+                "streaming": True,
+                "reads_ingested": self.reads_ingested,
+            },
+        )
+
+    # -- updates -----------------------------------------------------------
+
+    def _update(self, final: bool) -> StreamingUpdate:
+        started = time.perf_counter()
+        result = self._localize()
+        elapsed = time.perf_counter() - started
+
+        expected_count = (
+            len(self._expected)
+            if self._expected is not None
+            else max(len(self.collector.tag_ids()), 1)
+        )
+        ordered_fraction = (
+            len(result.x_ordering.ordered_ids) / expected_count
+            if expected_count
+            else 0.0
+        )
+        agreement = (
+            1.0
+            if self._previous_x is None
+            else ordering_agreement(self._previous_x, result.x_ordering.ordered_ids)
+        )
+        self._previous_x = result.x_ordering.ordered_ids
+
+        update = StreamingUpdate(
+            update_index=self._updates,
+            reads_ingested=self.reads_ingested,
+            batches_ingested=self._batches,
+            result=result,
+            ordered_fraction=ordered_fraction,
+            agreement=agreement,
+            confidence=ordered_fraction * agreement,
+            elapsed_s=elapsed,
+            final=final,
+        )
+        self._updates += 1
+        return update
+
+    def provisional(self) -> StreamingUpdate:
+        """Compute a provisional ordering over everything ingested so far."""
+        self._check_open()
+        return self._update(final=False)
+
+    def finalize(self) -> StreamingUpdate:
+        """Close the stream and return the converged (batch-exact) result.
+
+        Idempotent: repeated calls return the same update.  After
+        finalization further ingestion raises ``RuntimeError``.
+        """
+        if self._finalized is None:
+            self._finalized = self._update(final=True)
+        return self._finalized

@@ -13,6 +13,7 @@ from .presets import (
     standard_tag_moving_scene,
 )
 from .scene import Scene
+from .streaming import StreamingCollector, TagStreamBuffer
 
 __all__ = [
     "DEFAULT_ANTENNA_SPEED_MPS",
@@ -20,7 +21,9 @@ __all__ = [
     "DEFAULT_STANDOFF_M",
     "Scene",
     "SweepGeometry",
+    "StreamingCollector",
     "SweepResult",
+    "TagStreamBuffer",
     "clean_channel",
     "collect_sweep",
     "indoor_channel",

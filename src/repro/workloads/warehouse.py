@@ -256,6 +256,101 @@ def conveyor_experiment(
     )
 
 
+@dataclass
+class ConveyorPortal:
+    """A live streaming portal over one conveyor batch.
+
+    Wraps a :class:`~repro.service.LocalizationSession` around the streaming
+    reader (:meth:`~repro.rfid.reader.RFIDReader.sweep_stream`): the belt
+    carries the cartons past the antenna, reads flow into the session round
+    by round, and :meth:`updates` yields provisional orderings while cartons
+    are still in front of the antenna — the deployment shape of the paper's
+    conveyor scenarios, where diverters need answers before the batch has
+    fully passed.
+    """
+
+    batch: ConveyorBatch
+    scene: Scene
+    session: "LocalizationSession"
+    update_every_rounds: int = 5
+
+    def updates(self):
+        """Drive the sweep; yield provisional updates, then the final one.
+
+        The final update's orderings are bit-identical to running the batch
+        pipeline over the completed sweep's read log (the session's
+        convergence guarantee — see ``docs/streaming.md``).
+        """
+        from ..rfid.reader import RFIDReader
+
+        reader = RFIDReader(
+            config=self.scene.reader_config, protocol=self.scene.protocol
+        )
+        for read_batch in reader.sweep_stream(
+            tags=self.scene.tags,
+            antenna_position=self.scene.scenario.antenna_position,
+            duration_s=self.scene.scenario.duration_s,
+            tag_position=self.scene.scenario.tag_position,
+            rng=self.scene.rng(),
+        ):
+            self.session.ingest_batch(read_batch)
+            if (read_batch.round_index + 1) % self.update_every_rounds == 0:
+                yield self.session.provisional()
+        yield self.session.finalize()
+
+    def belt_order_accuracy(self, update=None) -> float:
+        """Ordering accuracy of an update's X ordering vs the true belt order.
+
+        With ``update=None`` this scores the **final** ordering — it calls
+        ``session.finalize()``, which freezes the session, so only use that
+        form after :meth:`updates` has been fully consumed.  To score a
+        provisional ordering mid-stream, pass that
+        :class:`~repro.service.StreamingUpdate` explicitly (the session is
+        left untouched).
+        """
+        from ..evaluation.metrics import strict_ordering_accuracy
+
+        if update is None:
+            update = self.session.finalize()
+        return strict_ordering_accuracy(
+            self.batch.ground_truth_order(),
+            list(update.result.x_ordering.ordered_ids),
+        )
+
+
+def conveyor_portal(
+    config: ConveyorConfig = ConveyorConfig(),
+    batch_index: int = 0,
+    seed: int | None = None,
+    geometry: SweepGeometry = SweepGeometry(),
+    update_every_rounds: int = 5,
+) -> ConveyorPortal:
+    """Build a streaming portal over one freshly generated conveyor batch.
+
+    The portal's session expects exactly the batch's cartons and is labelled
+    with the scene's reader channel; consume :meth:`ConveyorPortal.updates`
+    to run the sweep live.
+    """
+    from ..service import LocalizationSession
+
+    if update_every_rounds < 1:
+        raise ValueError(
+            f"update_every_rounds must be >= 1, got {update_every_rounds}"
+        )
+    batch = conveyor_batch(config, batch_index=batch_index, seed=seed)
+    scene = conveyor_scene(batch, seed=seed, geometry=geometry)
+    session = LocalizationSession(
+        expected_tag_ids=batch.tags.ids(),
+        channel_index=scene.reader_config.channel.channel_index,
+    )
+    return ConveyorPortal(
+        batch=batch,
+        scene=scene,
+        session=session,
+        update_every_rounds=update_every_rounds,
+    )
+
+
 def warehouse_sweep_plan(
     repetitions: int = 3,
     config: ConveyorConfig = ConveyorConfig(),
