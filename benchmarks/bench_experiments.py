@@ -15,10 +15,19 @@ seeds, so the results are bit-identical (asserted here); only the wall clock
 differs.  The measured times, the speed-up, a per-stage breakdown of the
 serial pass (simulate vs localize vs metrics), and the machine's core count
 are written to ``BENCH_experiments.json`` so the scaling trajectory is
-tracked PR over PR.  On a single-core runner the sharded path degenerates to
-pool overhead, so the serial-vs-sharded comparison is explicitly flagged
-**inconclusive** (``sharded_comparison_conclusive: false``) rather than
-reporting a meaningless sub-1x "speedup".
+tracked PR over PR.
+
+On a single-core runner the sharded path degenerates to pool overhead, so
+the sharded **timing is skipped entirely** (``sharded_skipped: true``,
+``timings_s.sharded: null``) rather than recording a meaningless sub-1x
+"speedup"; a one-repetition sharded run still executes through the process
+pool so the serial-vs-sharded bit-identity stays verified.  Worker count is
+auto-sized from ``os.cpu_count()``.
+
+The simulate stage is additionally compared against the PR-4 recorded
+baseline (3.34 s for the default 4x8 workload, per-round sweep engine) so
+``check_speedups.py`` can enforce the fused sweep engine's >=3x stage
+speedup.
 
 Run with:
   PYTHONPATH=src python benchmarks/bench_experiments.py [--repetitions 8] [--out BENCH_experiments.json]
@@ -42,6 +51,14 @@ from repro.evaluation.sweep import SweepService, scheme_sweep_plan, score_stpp
 from repro.simulation.collector import profiles_from_read_log
 
 SPACINGS_M = (0.04, 0.06, 0.08, 0.10)
+
+DEFAULT_REPETITIONS = 8
+
+PR4_SIMULATE_BASELINE_S = 3.3376
+"""Simulate-stage seconds recorded in PR 4's BENCH_experiments.json for the
+default workload (4 spacings x 8 repetitions, per-round batched sweep
+engine).  The fused two-phase engine's acceptance criterion is >=3x against
+this number at the same scale."""
 
 
 def spacing_factories():
@@ -75,7 +92,7 @@ def spacing_sweep_plans(repetitions: int):
     ]
 
 
-def stage_breakdown(repetitions: int) -> dict:
+def stage_breakdown(repetitions: int, passes: int = 2) -> dict:
     """Per-stage serial timing: where does one repetition's time actually go?
 
     Runs the same (rep_index, seed) workload the plans describe, but with the
@@ -84,38 +101,41 @@ def stage_breakdown(repetitions: int) -> dict:
     * ``simulate`` — build the scene and run the RFID sweep simulation;
     * ``localize`` — extract phase profiles and run the batched STPP engine;
     * ``metrics``  — score the predicted orderings against ground truth.
+
+    The whole breakdown runs ``passes`` times and each stage records its
+    best total — the ratios feed CI floors, so a background-load spike on a
+    shared runner must not read as an engine regression.
     """
-    simulate_s = localize_s = metrics_s = 0.0
+    best = {"simulate": float("inf"), "localize": float("inf"), "metrics": float("inf")}
     factories = spacing_factories()
     plans = spacing_sweep_plans(repetitions)
-    for (_, factory), plan in zip(factories, plans):
-        for rep_index, seed in enumerate(plan.resolved_seeds()):
-            started = time.perf_counter()
-            experiment = factory(rep_index, seed)
-            simulated = time.perf_counter()
-            localizer = BatchLocalizer(STPPConfig())
-            profiles = profiles_from_read_log(experiment.read_log)
-            result = localizer.localize(
-                profiles, expected_tag_ids=experiment.target_ids
-            )
-            localized = time.perf_counter()
-            evaluate_ordering(
-                experiment.true_x,
-                experiment.true_y,
-                result.x_ordering.ordered_ids,
-                result.y_ordering.ordered_ids,
-            )
-            scored = time.perf_counter()
-            simulate_s += simulated - started
-            localize_s += localized - simulated
-            metrics_s += scored - localized
-    total = simulate_s + localize_s + metrics_s
-    return {
-        "simulate": simulate_s,
-        "localize": localize_s,
-        "metrics": metrics_s,
-        "total": total,
-    }
+    for _ in range(max(1, passes)):
+        simulate_s = localize_s = metrics_s = 0.0
+        for (_, factory), plan in zip(factories, plans):
+            for rep_index, seed in enumerate(plan.resolved_seeds()):
+                started = time.perf_counter()
+                experiment = factory(rep_index, seed)
+                simulated = time.perf_counter()
+                localizer = BatchLocalizer(STPPConfig())
+                profiles = profiles_from_read_log(experiment.read_log)
+                result = localizer.localize(
+                    profiles, expected_tag_ids=experiment.target_ids
+                )
+                localized = time.perf_counter()
+                evaluate_ordering(
+                    experiment.true_x,
+                    experiment.true_y,
+                    result.x_ordering.ordered_ids,
+                    result.y_ordering.ordered_ids,
+                )
+                scored = time.perf_counter()
+                simulate_s += simulated - started
+                localize_s += localized - simulated
+                metrics_s += scored - localized
+        best["simulate"] = min(best["simulate"], simulate_s)
+        best["localize"] = min(best["localize"], localize_s)
+        best["metrics"] = min(best["metrics"], metrics_s)
+    return {**best, "total": best["simulate"] + best["localize"] + best["metrics"]}
 
 
 def run_once(service: SweepService, repetitions: int):
@@ -139,7 +159,7 @@ def evaluations_of(outcomes):
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
-        "--repetitions", type=int, default=8,
+        "--repetitions", type=int, default=DEFAULT_REPETITIONS,
         help="repetitions per spacing (default 8; total sweeps = 4x this)",
     )
     parser.add_argument("--out", type=Path, default=Path("BENCH_experiments.json"))
@@ -157,29 +177,56 @@ def main() -> None:
     serial_s, serial_outcomes = run_once(SweepService(parallel=False), args.repetitions)
     print(f"serial : {serial_s:8.2f} s")
 
-    sharded_service = SweepService(max_workers=cpu_count, parallel=True, shard_size=1)
-    sharded_s, sharded_outcomes = run_once(sharded_service, args.repetitions)
-    print(f"sharded: {sharded_s:8.2f} s  ({cpu_count} workers)")
+    conclusive = cpu_count > 1
+    if conclusive:
+        # Multi-core host: the comparison is meaningful — time it.
+        sharded_service = SweepService(
+            max_workers=cpu_count, parallel=True, shard_size=1
+        )
+        sharded_s, sharded_outcomes = run_once(sharded_service, args.repetitions)
+        print(f"sharded: {sharded_s:8.2f} s  ({cpu_count} workers)")
+        speedup = serial_s / max(sharded_s, 1e-9)
+        print(f"speedup: {speedup:8.2f} x")
+        equivalence_repetitions = args.repetitions
+    else:
+        # Single core: sharding can only add pool overhead, so a timing would
+        # be noise.  Skip it, but still push one repetition through the pool
+        # so the serial-vs-sharded bit-identity stays verified on this host.
+        print("sharded: skipped (single-core host — pool overhead only)")
+        sharded_s = None
+        speedup = None
+        equivalence_repetitions = 1
+        sharded_service = SweepService(max_workers=1, parallel=True, shard_size=1)
+        _, sharded_outcomes = run_once(sharded_service, equivalence_repetitions)
+        serial_outcomes = run_once(
+            SweepService(parallel=False), equivalence_repetitions
+        )[1]
 
     if evaluations_of(serial_outcomes) != evaluations_of(sharded_outcomes):
         raise AssertionError("serial and sharded results diverged — engine bug")
-    print("serial/sharded results: bit-identical")
-
-    speedup = serial_s / max(sharded_s, 1e-9)
-    conclusive = cpu_count > 1
-    if conclusive:
-        print(f"speedup: {speedup:8.2f} x")
-    else:
-        print(
-            f"speedup: {speedup:8.2f} x  "
-            "[INCONCLUSIVE: single-core host — the sharded path can only add "
-            "pool overhead here]"
-        )
+    print(
+        "serial/sharded results: bit-identical "
+        f"({equivalence_repetitions} repetition(s) compared)"
+    )
 
     stages = stage_breakdown(args.repetitions)
     for stage in ("simulate", "localize", "metrics"):
         share = stages[stage] / max(stages["total"], 1e-9)
         print(f"stage {stage:>8}: {stages[stage]:8.2f} s  ({share:5.1%})")
+
+    # The fused sweep engine's acceptance criterion: the simulate stage vs
+    # the PR-4 recorded baseline, comparable only at the default scale.
+    baseline_comparable = args.repetitions == DEFAULT_REPETITIONS
+    simulate_speedup = (
+        PR4_SIMULATE_BASELINE_S / max(stages["simulate"], 1e-9)
+        if baseline_comparable
+        else None
+    )
+    if simulate_speedup is not None:
+        print(
+            f"simulate stage vs PR-4 recorded baseline "
+            f"({PR4_SIMULATE_BASELINE_S:.2f} s): {simulate_speedup:.2f}x"
+        )
 
     payload = {
         "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
@@ -196,10 +243,15 @@ def main() -> None:
             "sharded": sharded_s,
         },
         "stage_breakdown_s": stages,
-        "sharded_workers": cpu_count,
+        "simulate_baseline_pr4_s": PR4_SIMULATE_BASELINE_S,
+        "simulate_baseline_comparable": baseline_comparable,
+        "speedup_simulate_vs_pr4": simulate_speedup,
+        "sharded_workers": cpu_count if conclusive else None,
         "speedup_sharded_vs_serial": speedup,
+        "sharded_skipped": not conclusive,
         "sharded_comparison_conclusive": conclusive,
         "results_bit_identical": True,
+        "equivalence_repetitions": equivalence_repetitions,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")

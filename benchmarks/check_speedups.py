@@ -4,15 +4,21 @@ CI runs this after the benchmark passes so a regression that erodes an
 engine's recorded win fails the build instead of silently shipping:
 
 * ``BENCH_sweep.json``        — the round-batched RF sweep kernel must beat
-                                the scalar per-read path on the static scene;
+                                the scalar per-read path on the static scene,
+                                and the fused two-phase engine must beat the
+                                per-round engine;
 * ``BENCH_dtw.json``          — the batched DTW engine must beat the seed's
-                                pure-Python per-tag loop;
+                                pure-Python per-tag loop, and the end-to-end
+                                localize overhead must stay under the ceiling
+                                (2x the kernel time);
 * ``BENCH_experiments.json``  — the sharded experiment engine must beat the
                                 serial path, but only when the file says the
                                 comparison is conclusive (on a single-core
-                                host sharding can only add pool overhead, so
-                                the recorded ratio is not a regression
-                                signal);
+                                host the sharded timing is skipped outright,
+                                so there is no ratio to check); the simulate
+                                stage must hold its >=3x win over the PR-4
+                                recorded baseline when the workload scale is
+                                comparable;
 * ``BENCH_streaming.json``    — the streaming session must ingest at least
                                 10k reads/s, and its final orderings must be
                                 bit-identical to the batch pipeline's.
@@ -25,6 +31,8 @@ Run with:
 
 Missing files are skipped with a note (each benchmark is recorded by its own
 ``make bench-*`` target), so the check degrades gracefully on fresh clones.
+Fields introduced by later PRs (e.g. the fused-sweep speedup) are only
+enforced when present, so the checker still validates pre-upgrade records.
 """
 
 from __future__ import annotations
@@ -52,7 +60,7 @@ def _require(condition: bool, message: str) -> None:
         FAILURES.append(message)
 
 
-def check_sweep(path: Path, floor: float) -> None:
+def check_sweep(path: Path, floor: float, fused_floor: float) -> None:
     print(f"sweep kernel ({path}):")
     payload = _load(path)
     if payload is None:
@@ -63,14 +71,22 @@ def check_sweep(path: Path, floor: float) -> None:
         speedup >= floor,
         f"static-scene batched-vs-scalar speedup {speedup:.2f}x >= {floor}x",
     )
+    if "speedup_fused_vs_round" in static:
+        fused = float(static["speedup_fused_vs_round"])
+        _require(
+            fused >= fused_floor,
+            f"static-scene fused-vs-round speedup {fused:.2f}x >= {fused_floor}x",
+        )
+    else:
+        print("  skip: no fused-engine record (pre-PR-5 file) — no fused floor applied")
     for scene_name, scene in payload["scenes"].items():
         _require(
             bool(scene.get("results_bit_identical")),
-            f"{scene_name} scene: batched and scalar logs bit-identical",
+            f"{scene_name} scene: all engines' logs bit-identical",
         )
 
 
-def check_dtw(path: Path, floor: float) -> None:
+def check_dtw(path: Path, floor: float, overhead_ceiling: float) -> None:
     print(f"DTW engine ({path}):")
     payload = _load(path)
     if payload is None:
@@ -80,9 +96,17 @@ def check_dtw(path: Path, floor: float) -> None:
         speedup >= floor,
         f"batched-vs-python-loop speedup {speedup:.2f}x >= {floor}x",
     )
+    overhead = payload.get("localize_overhead_vs_kernel")
+    if overhead is None:
+        print("  skip: no localize-overhead record (pre-PR-5 file) — no ceiling applied")
+    else:
+        _require(
+            float(overhead) < overhead_ceiling,
+            f"localize overhead {float(overhead):.2f}x the kernel < {overhead_ceiling}x",
+        )
 
 
-def check_experiments(path: Path, floor: float) -> None:
+def check_experiments(path: Path, floor: float, simulate_floor: float) -> None:
     print(f"experiment engine ({path}):")
     payload = _load(path)
     if payload is None:
@@ -91,9 +115,24 @@ def check_experiments(path: Path, floor: float) -> None:
         bool(payload.get("results_bit_identical")),
         "serial and sharded results bit-identical",
     )
-    if not payload.get("sharded_comparison_conclusive", payload.get("cpu_count", 1) > 1):
+    simulate_speedup = payload.get("speedup_simulate_vs_pr4")
+    if payload.get("simulate_baseline_comparable") and simulate_speedup is not None:
+        _require(
+            float(simulate_speedup) >= simulate_floor,
+            f"simulate stage vs PR-4 baseline {float(simulate_speedup):.2f}x "
+            f">= {simulate_floor}x",
+        )
+    else:
         print(
-            "  skip: sharded-vs-serial comparison recorded as inconclusive "
+            "  skip: simulate stage not comparable to the PR-4 baseline "
+            "(non-default scale or pre-PR-5 file) — no stage floor applied"
+        )
+    if not payload.get("sharded_comparison_conclusive", payload.get("cpu_count", 1) > 1):
+        reason = (
+            "timing skipped" if payload.get("sharded_skipped") else "inconclusive"
+        )
+        print(
+            f"  skip: sharded-vs-serial comparison {reason} "
             f"(cpu_count={payload.get('cpu_count')}) — no floor applied"
         )
         return
@@ -138,11 +177,27 @@ def main() -> None:
         help="minimum static-scene sweep speedup (default 5.0; the acceptance "
         "floor for the recorded 200-tag scene — smoke runs pass a lower one)",
     )
+    parser.add_argument(
+        "--sweep-fused-floor", type=float, default=1.5,
+        help="minimum static-scene fused-vs-round speedup (default 1.5; the "
+        "recorded 200-tag scene sits above 2x — smoke scenes are smaller, so "
+        "the default floor is conservative)",
+    )
     parser.add_argument("--dtw-floor", type=float, default=5.0)
+    parser.add_argument(
+        "--dtw-overhead-ceiling", type=float, default=2.0,
+        help="maximum localize overhead as a multiple of the DTW kernel time "
+        "(default 2.0, the PR-5 acceptance ceiling)",
+    )
     parser.add_argument(
         "--experiments-floor", type=float, default=1.0,
         help="minimum sharded speedup, applied only when the record says the "
         "comparison is conclusive (multi-core host)",
+    )
+    parser.add_argument(
+        "--experiments-simulate-floor", type=float, default=3.0,
+        help="minimum simulate-stage speedup over the PR-4 recorded baseline, "
+        "applied only when the record is at the comparable default scale",
     )
     parser.add_argument(
         "--streaming-floor", type=float, default=10_000.0,
@@ -157,11 +212,13 @@ def main() -> None:
     args = parser.parse_args()
 
     if args.only in (None, "sweep"):
-        check_sweep(args.sweep, args.sweep_floor)
+        check_sweep(args.sweep, args.sweep_floor, args.sweep_fused_floor)
     if args.only in (None, "dtw"):
-        check_dtw(args.dtw, args.dtw_floor)
+        check_dtw(args.dtw, args.dtw_floor, args.dtw_overhead_ceiling)
     if args.only in (None, "experiments"):
-        check_experiments(args.experiments, args.experiments_floor)
+        check_experiments(
+            args.experiments, args.experiments_floor, args.experiments_simulate_floor
+        )
     if args.only in (None, "streaming"):
         check_streaming(args.streaming, args.streaming_floor)
 

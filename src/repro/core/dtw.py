@@ -32,6 +32,7 @@ import numpy as np
 
 from .segmentation import (
     Segment,
+    SegmentArrays,
     duration_weight_matrix,
     range_gap_matrix,
     segment_bounds,
@@ -39,6 +40,21 @@ from .segmentation import (
     segment_durations,
     segment_duration_weights,
 )
+
+
+def _segmentation_columns(
+    segments: "list[Segment] | SegmentArrays",
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(mins, maxs, durations)`` of either segmentation representation.
+
+    :class:`SegmentArrays` already holds the columns; a ``list[Segment]``
+    gets the identical values extracted object by object.
+    """
+    if isinstance(segments, SegmentArrays):
+        mins, maxs = segments.bounds()
+        return mins, maxs, segments.durations()
+    mins, maxs = segment_bounds(segments)
+    return mins, maxs, segment_durations(segments)
 
 MAX_BATCH_CELLS = 250_000
 """Padded-cell budget per batched accumulation chunk.
@@ -434,8 +450,8 @@ def segmented_dtw_align(
 
 
 def segmented_dtw_align_batch(
-    reference_segments: list[Segment],
-    query_segmentations: list[list[Segment]],
+    reference_segments: "list[Segment] | SegmentArrays",
+    query_segmentations: "list[list[Segment] | SegmentArrays]",
     subsequence: bool = True,
 ) -> list[DTWResult]:
     """Segmented DTW of one reference segmentation against many queries.
@@ -444,16 +460,18 @@ def segmented_dtw_align_batch(
     every query's distance/weight matrices, and the accumulations sweep whole
     padded chunks at a time (each chunk's matrices are built on demand and
     freed after backtracking).  Results are identical (costs and paths) to
-    calling :func:`segmented_dtw_align` per query.
+    calling :func:`segmented_dtw_align` per query.  Segmentations may be
+    given as ``list[Segment]`` or column-form
+    :class:`~repro.core.segmentation.SegmentArrays` (the batched detector's
+    representation) interchangeably.
     """
-    if not reference_segments:
+    if not len(reference_segments):
         raise ValueError("reference segmentation must be non-empty")
-    if any(not query_segments for query_segments in query_segmentations):
+    if any(not len(query_segments) for query_segments in query_segmentations):
         raise ValueError("query segmentations must be non-empty")
-    ref_min, ref_max = segment_bounds(reference_segments)
-    ref_durations = segment_durations(reference_segments)
+    ref_min, ref_max, ref_durations = _segmentation_columns(reference_segments)
     query_arrays = [
-        (segment_bounds(query_segments), segment_durations(query_segments))
+        _segmentation_columns(query_segments)
         for query_segments in query_segmentations
     ]
     shapes = [
@@ -462,7 +480,7 @@ def segmented_dtw_align_batch(
     ]
 
     def make_weighted(k: int) -> np.ndarray:
-        (q_min, q_max), q_durations = query_arrays[k]
+        q_min, q_max, q_durations = query_arrays[k]
         distance = range_gap_matrix(ref_min, ref_max, q_min, q_max)
         return distance * duration_weight_matrix(ref_durations, q_durations)
 

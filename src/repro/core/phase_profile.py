@@ -99,17 +99,35 @@ class PhaseProfile:
         return (len(self) - 1) / self.duration_s
 
     def slice_time(self, start_s: float, end_s: float) -> "PhaseProfile":
-        """Samples with timestamps in ``[start_s, end_s]`` as a new profile."""
+        """Samples with timestamps in ``[start_s, end_s]`` as a new profile.
+
+        Timestamps are sorted, so the selection is a contiguous run located
+        with two binary searches (identical membership to the boolean-mask
+        filter, without scanning or copying the full columns).
+        """
         if end_s < start_s:
             raise ValueError("end must not precede start")
-        mask = (self.timestamps_s >= start_s) & (self.timestamps_s <= end_s)
-        return self._masked(mask)
+        start = int(np.searchsorted(self.timestamps_s, start_s, side="left"))
+        end = int(np.searchsorted(self.timestamps_s, end_s, side="right"))
+        return self.slice_index(start, end)
 
     def slice_index(self, start: int, end: int) -> "PhaseProfile":
-        """Samples with indices in ``[start, end)`` as a new profile."""
-        mask = np.zeros(len(self), dtype=bool)
-        mask[start:end] = True
-        return self._masked(mask)
+        """Samples with indices in ``[start, end)`` as a new profile.
+
+        Uses array views and skips re-validation — contiguous windows are the
+        V-zone detector's hot path, a mask would copy the whole profile's
+        columns per candidate window, and any contiguous slice of an already
+        validated profile is valid by construction (sorted timestamps stay
+        sorted, wrapped phases stay wrapped).
+        """
+        return _profile_from_validated(
+            tag_id=self.tag_id,
+            timestamps_s=self.timestamps_s[start:end],
+            phases_rad=self.phases_rad[start:end],
+            rssi_dbm=None if self.rssi_dbm is None else self.rssi_dbm[start:end],
+            channel_index=self.channel_index,
+            metadata=dict(self.metadata),
+        )
 
     def _masked(self, mask: np.ndarray) -> "PhaseProfile":
         return PhaseProfile(
@@ -164,6 +182,30 @@ class PhaseProfile:
             rssi_dbm=rssi,
             channel_index=channel_index,
         )
+
+
+def _profile_from_validated(
+    tag_id: str,
+    timestamps_s: np.ndarray,
+    phases_rad: np.ndarray,
+    rssi_dbm: np.ndarray | None,
+    channel_index: int,
+    metadata: dict,
+) -> PhaseProfile:
+    """Build a :class:`PhaseProfile` from columns known to satisfy the
+    invariants, bypassing ``__post_init__``'s validation scans.
+
+    Only for columns sliced from an already validated profile; arbitrary
+    inputs must go through the regular constructor.
+    """
+    profile = object.__new__(PhaseProfile)
+    object.__setattr__(profile, "tag_id", tag_id)
+    object.__setattr__(profile, "timestamps_s", timestamps_s)
+    object.__setattr__(profile, "phases_rad", phases_rad)
+    object.__setattr__(profile, "rssi_dbm", rssi_dbm)
+    object.__setattr__(profile, "channel_index", channel_index)
+    object.__setattr__(profile, "metadata", metadata)
+    return profile
 
 
 @dataclass

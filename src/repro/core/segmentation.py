@@ -70,6 +70,123 @@ def _phase_jump_indices(phases: np.ndarray, jump_threshold_rad: float) -> np.nda
     return np.nonzero(diffs > jump_threshold_rad)[0] + 1
 
 
+class SegmentArrays:
+    """Structure-of-arrays segmentation: what the batch engines consume.
+
+    :func:`segment_profile` historically returned a ``list[Segment]``, which
+    the batched DTW aligner immediately unpacked back into bounds/duration
+    arrays — tens of thousands of dataclass constructions per localization
+    whose fields were only ever read columnwise.  ``SegmentArrays`` keeps the
+    columns as NumPy arrays and materialises :class:`Segment` objects lazily,
+    so the hot path (segment → distance matrix → DTW) never touches per-
+    segment objects while indexing and iteration still behave like the list.
+    """
+
+    __slots__ = ("starts", "ends", "start_times", "end_times", "mins", "maxs")
+
+    def __init__(
+        self,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        start_times: np.ndarray,
+        end_times: np.ndarray,
+        mins: np.ndarray,
+        maxs: np.ndarray,
+    ) -> None:
+        self.starts = starts
+        self.ends = ends
+        self.start_times = start_times
+        self.end_times = end_times
+        self.mins = mins
+        self.maxs = maxs
+
+    def __len__(self) -> int:
+        return int(self.starts.size)
+
+    def __getitem__(self, index: int) -> Segment:
+        return Segment(
+            start_index=int(self.starts[index]),
+            end_index=int(self.ends[index]),
+            start_time_s=float(self.start_times[index]),
+            end_time_s=float(self.end_times[index]),
+            min_phase_rad=float(self.mins[index]),
+            max_phase_rad=float(self.maxs[index]),
+        )
+
+    def __iter__(self):
+        return (self[k] for k in range(len(self)))
+
+    def bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """The ``(min_phase, max_phase)`` arrays (no per-object extraction)."""
+        return self.mins, self.maxs
+
+    def durations(self) -> np.ndarray:
+        """Per-segment durations clamped away from zero, as an array."""
+        return np.maximum(self.end_times - self.start_times, 1e-6)
+
+    def to_segments(self) -> list[Segment]:
+        """Materialise the equivalent ``list[Segment]``."""
+        return [self[k] for k in range(len(self))]
+
+
+def segment_profile_arrays(
+    profile: PhaseProfile,
+    window_size: int,
+    jump_threshold_rad: float = 0.75 * TWO_PI,
+) -> SegmentArrays:
+    """:func:`segment_profile` as columns — the batch engines' form.
+
+    Identical segmentation (same boundaries, same min/max values); only the
+    container differs.
+    """
+    if window_size < 1:
+        raise ValueError(f"window size must be >= 1, got {window_size}")
+    phases = profile.phases_rad
+    times = profile.timestamps_s
+    sample_count = len(profile)
+    if sample_count == 0:
+        empty_index = np.empty(0, dtype=np.intp)
+        empty_float = np.empty(0)
+        return SegmentArrays(
+            empty_index, empty_index, empty_float, empty_float, empty_float, empty_float
+        )
+    jumps = _phase_jump_indices(phases, jump_threshold_rad)
+
+    # Each segment closes at the first boundary after its start: the window
+    # filling, the next 0/2pi jump, or the end of the profile.  Walking
+    # boundary to boundary (O(M / w) steps) replaces the historical
+    # sample-by-sample loop; the boundary sequence is identical.
+    boundaries = [0]
+    jump_cursor = 0
+    jump_count = jumps.size
+    start = 0
+    while start < sample_count:
+        stop = start + window_size
+        while jump_cursor < jump_count and jumps[jump_cursor] <= start:
+            jump_cursor += 1
+        if jump_cursor < jump_count and jumps[jump_cursor] < stop:
+            stop = int(jumps[jump_cursor])
+        if stop > sample_count:
+            stop = sample_count
+        boundaries.append(stop)
+        start = stop
+
+    starts = np.array(boundaries[:-1], dtype=np.intp)
+    ends = np.array(boundaries[1:], dtype=np.intp)
+    # reduceat evaluates min/max over [starts[i], starts[i+1]) — exactly the
+    # per-chunk np.min/np.max values the per-sample loop computed.
+    mins = np.minimum.reduceat(phases, starts)
+    maxs = np.maximum.reduceat(phases, starts)
+    return SegmentArrays(
+        starts=starts,
+        ends=ends,
+        start_times=times[starts],
+        end_times=times[ends - 1],
+        mins=mins,
+        maxs=maxs,
+    )
+
+
 def segment_profile(
     profile: PhaseProfile,
     window_size: int,
@@ -92,38 +209,9 @@ def segment_profile(
         A sample-to-sample phase difference larger than this is treated as a
         wrap.  The default (1.5π) only triggers on genuine wraps, not on noise.
     """
-    if window_size < 1:
-        raise ValueError(f"window size must be >= 1, got {window_size}")
-    if profile.is_empty:
+    if profile.is_empty and window_size >= 1:
         return []
-
-    phases = profile.phases_rad
-    times = profile.timestamps_s
-    jump_set = set(int(i) for i in _phase_jump_indices(phases, jump_threshold_rad))
-
-    segments: list[Segment] = []
-    start = 0
-    for index in range(1, len(profile) + 1):
-        window_full = (index - start) >= window_size
-        at_jump = index in jump_set
-        at_end = index == len(profile)
-        if not (window_full or at_jump or at_end):
-            continue
-        chunk_phases = phases[start:index]
-        segments.append(
-            Segment(
-                start_index=start,
-                end_index=index,
-                start_time_s=float(times[start]),
-                end_time_s=float(times[index - 1]),
-                min_phase_rad=float(np.min(chunk_phases)),
-                max_phase_rad=float(np.max(chunk_phases)),
-            )
-        )
-        start = index
-        if at_end:
-            break
-    return segments
+    return segment_profile_arrays(profile, window_size, jump_threshold_rad).to_segments()
 
 
 class IncrementalSegmenter:

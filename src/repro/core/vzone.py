@@ -40,7 +40,7 @@ from .dtw import (
 from .fitting import QuadraticFit, fit_vzone
 from .phase_profile import PhaseProfile
 from .reference import ReferenceProfile, shared_canonical_reference
-from .segmentation import Segment, segment_profile
+from .segmentation import Segment, segment_profile, segment_profile_arrays
 
 DETECTION_METHODS = ("segmented_dtw", "full_dtw", "longest_run")
 """The supported V-zone detection strategies."""
@@ -139,9 +139,20 @@ class VZoneDetector:
             vzone = self._detect_longest_run(profile)
 
         if self.fallback_to_longest_run and self.method != "longest_run":
-            fallback = self._detect_longest_run(profile)
-            vzone = self._better_of(vzone, fallback)
+            vzone = self._apply_fallback(vzone, profile)
         return vzone
+
+    def _apply_fallback(self, vzone: VZone | None, profile: PhaseProfile) -> VZone | None:
+        """Run the longest-run fallback only when it could change the outcome.
+
+        :meth:`_better_of` keeps the primary whenever its fit is valid, so
+        computing the fallback (three candidate windows, a quadratic fit
+        each) for a valid primary is pure waste — the detections are
+        identical either way, this just skips the discarded work.
+        """
+        if vzone is not None and vzone.fit.valid:
+            return vzone
+        return self._better_of(vzone, self._detect_longest_run(profile))
 
     @staticmethod
     def _better_of(primary: VZone | None, secondary: VZone | None) -> VZone | None:
@@ -201,7 +212,7 @@ class VZoneDetector:
         """
         vzone = self._vzone_from_segmented(profile, measured_segments, result)
         if self.fallback_to_longest_run:
-            vzone = self._better_of(vzone, self._detect_longest_run(profile))
+            vzone = self._apply_fallback(vzone, profile)
         return vzone
 
     def _detect_all_batched(self, items: "list[PhaseProfile]") -> dict[str, VZone]:
@@ -209,7 +220,11 @@ class VZoneDetector:
         usable = [p for p in items if len(p) >= self.min_profile_samples]
         primaries: dict[int, VZone | None] = {}
         if self.method == "segmented_dtw":
-            segmentations = [segment_profile(p, self.window_size) for p in usable]
+            # Column-form segmentations: the aligner reads bounds/durations
+            # straight off the arrays, with no per-segment objects built.
+            segmentations = [
+                segment_profile_arrays(p, self.window_size) for p in usable
+            ]
             indices = [k for k, segs in enumerate(segmentations) if segs]
             if indices:
                 results = segmented_dtw_align_batch(
@@ -232,7 +247,7 @@ class VZoneDetector:
         for k, profile in enumerate(usable):
             vzone = primaries.get(k)
             if self.fallback_to_longest_run:
-                vzone = self._better_of(vzone, self._detect_longest_run(profile))
+                vzone = self._apply_fallback(vzone, profile)
             if vzone is not None:
                 detections[profile.tag_id] = vzone
         return detections
@@ -276,10 +291,15 @@ class VZoneDetector:
     def _vzone_from_segmented(
         self,
         profile: PhaseProfile,
-        measured_segments: list[Segment],
+        measured_segments: "list[Segment] | object",
         result: DTWResult,
     ) -> VZone | None:
-        """Turn a segmented-DTW alignment into a V-zone window."""
+        """Turn a segmented-DTW alignment into a V-zone window.
+
+        ``measured_segments`` may be a ``list[Segment]`` or the batched
+        detector's column-form ``SegmentArrays`` — only indexed access to the
+        matched segments' sample ranges is needed.
+        """
         reference_segments = self.reference_segmentation()
         ref_vz_start, ref_vz_end = self._reference_vzone_segment_range(reference_segments)
         try:

@@ -48,6 +48,10 @@ class StaticAntennaPosition:
     def __call__(self, _time_s: float) -> Point3D:
         return self.position
 
+    def position_row(self, _time_s: float) -> np.ndarray:
+        """The fixed position as a ``(3,)`` row (cached; treat as read-only)."""
+        return self._row
+
     def positions_at(self, times_s: np.ndarray) -> np.ndarray:
         """The fixed position broadcast to ``(T, 3)``."""
         times = np.asarray(times_s, dtype=float)
@@ -62,6 +66,13 @@ class TrajectoryAntennaPosition:
 
     def __call__(self, time_s: float) -> Point3D:
         return self.trajectory.position(time_s)
+
+    def position_row(self, time_s: float) -> np.ndarray:
+        """Position at ``time_s`` as a raw ``(3,)`` row (same arithmetic)."""
+        row_fn = getattr(self.trajectory, "position_row", None)
+        if row_fn is not None:
+            return row_fn(time_s)
+        return self.trajectory.position(time_s).as_array()
 
     def positions_at(self, times_s: np.ndarray) -> np.ndarray:
         """Positions at each time as ``(T, 3)`` (see trajectory.positions_at)."""
@@ -102,11 +113,30 @@ class _TagPositionsBase:
         The diagonal of the :meth:`positions_at` cross product; every cell of
         that query depends only on its own (tag, time) pair, so the paired
         result is bitwise the same rows the full-population query would give.
+        The concrete providers override this with direct O(M) elementwise
+        evaluations of the same arithmetic — the fused sweep engine issues
+        one paired query over a whole sweep's events, where the O(M²) cross
+        product would dominate.
         """
         times = np.asarray(times_s, dtype=float)
         count = len(tag_ids)
         rows = self.positions_at(tag_ids, times)
         return rows[np.arange(count), np.arange(count)]
+
+    def _paired_start_rows(self, tag_ids: Sequence[str]) -> np.ndarray:
+        """Initial positions of ``tag_ids`` (repeats allowed) as ``(M, 3)``.
+
+        Unlike :meth:`initial_array` this does not touch the single-slot
+        cache: paired queries use per-event id lists that would evict the
+        full-population entry the per-round zone checks rely on.
+        """
+        return np.array(
+            [
+                (p.x, p.y, p.z)
+                for p in (self._positions[tag_id] for tag_id in tag_ids)
+            ],
+            dtype=float,
+        ).reshape(len(tag_ids), 3)
 
 
 class StaticTagPositions(_TagPositionsBase):
@@ -122,6 +152,12 @@ class StaticTagPositions(_TagPositionsBase):
         times = np.asarray(times_s, dtype=float)
         base = self.initial_array(tag_ids)
         return np.broadcast_to(base[None, :, :], (times.size, len(tag_ids), 3))
+
+    def positions_paired(
+        self, tag_ids: Sequence[str], times_s: np.ndarray
+    ) -> np.ndarray:
+        """Static layout: the paired positions are just the stored rows."""
+        return self._paired_start_rows(tag_ids)
 
 
 class ConstantVelocityTagPositions(_TagPositionsBase):
@@ -154,6 +190,18 @@ class ConstantVelocityTagPositions(_TagPositionsBase):
         displacement[:, 2] = self.velocity[2] * times
         return base[None, :, :] + displacement[:, None, :]
 
+    def positions_paired(
+        self, tag_ids: Sequence[str], times_s: np.ndarray
+    ) -> np.ndarray:
+        """O(M) paired query: the same ``start + velocity * t`` per pair."""
+        times = np.asarray(times_s, dtype=float)
+        base = self._paired_start_rows(tag_ids)
+        displacement = np.empty((times.size, 3))
+        displacement[:, 0] = self.velocity[0] * times
+        displacement[:, 1] = self.velocity[1] * times
+        displacement[:, 2] = self.velocity[2] * times
+        return base + displacement
+
 
 class BeltTagPositions(_TagPositionsBase):
     """Tags translating along −X following a (possibly variable) speed profile.
@@ -183,6 +231,20 @@ class BeltTagPositions(_TagPositionsBase):
         base = self.initial_array(tag_ids)
         out = np.repeat(base[None, :, :], times.size, axis=0)
         out[:, :, 0] = base[None, :, 0] - distances[:, None]
+        return out
+
+    def positions_paired(
+        self, tag_ids: Sequence[str], times_s: np.ndarray
+    ) -> np.ndarray:
+        """O(M) paired query: ``start.x - distance_at(t)`` per pair."""
+        times = np.asarray(times_s, dtype=float)
+        profile = self.speed_profile
+        if hasattr(profile, "distances_at"):
+            distances = profile.distances_at(times)
+        else:
+            distances = np.array([profile.distance_at(float(t)) for t in times])
+        out = self._paired_start_rows(tag_ids)
+        out[:, 0] = out[:, 0] - distances
         return out
 
 

@@ -10,12 +10,30 @@ in the paper's future-work section and is used by robustness tests.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Sequence
 
 import numpy as np
 
 from ..rf.geometry import Point3D
 from .speed_profiles import ConstantSpeedProfile, SpeedProfile
+
+
+@lru_cache(maxsize=256)
+def _endpoint_arrays(start: Point3D, end: Point3D) -> tuple[np.ndarray, np.ndarray, float]:
+    """``(start row, end row, path length)`` cached per endpoint pair.
+
+    Trajectories are frozen, but the sweep loop samples them once per
+    inventory round; caching the endpoint arrays (read-only) and the length
+    keeps that per-round cost to the interpolation arithmetic alone.  The
+    cache is bounded: long-lived processes build a fresh trajectory per
+    randomized scene, and only the currently sweeping one needs to be hot.
+    """
+    start_row = start.as_array()
+    end_row = end.as_array()
+    start_row.setflags(write=False)
+    end_row.setflags(write=False)
+    return start_row, end_row, start.distance_to(end)
 
 
 @dataclass(frozen=True, slots=True)
@@ -42,11 +60,19 @@ class LinearTrajectory:
 
     def position(self, time_s: float) -> Point3D:
         """Position at ``time_s``; clamped to the endpoints outside [0, duration]."""
+        return Point3D(*self.position_row(time_s))
+
+    def position_row(self, time_s: float) -> np.ndarray:
+        """:meth:`position` as a raw ``(3,)`` row — the sweep loop's form.
+
+        Identical arithmetic to :meth:`position` (which unpacks this row into
+        a :class:`Point3D`); exposed so per-round consumers skip the wrapper
+        object.
+        """
+        start, end, path_length = _endpoint_arrays(self.start, self.end)
         distance = self.speed_profile.distance_at(time_s)
-        fraction = min(1.0, max(0.0, distance / self.path_length_m))
-        start = self.start.as_array()
-        end = self.end.as_array()
-        return Point3D(*(start + fraction * (end - start)))
+        fraction = min(1.0, max(0.0, distance / path_length))
+        return start + fraction * (end - start)
 
     def progress(self, time_s: float) -> float:
         """Fraction of the path covered at ``time_s``, clamped to [0, 1]."""

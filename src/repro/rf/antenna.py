@@ -155,15 +155,31 @@ class ReadingZone:
     def contains_many(self, antenna_pos: np.ndarray, tag_positions: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`contains`: a boolean mask over ``(N, 3)`` positions.
 
-        Evaluates the same comparisons as the scalar method on the same
-        shared kernels, so the two produce identical in-zone decisions.
+        The range and beam tests share one displacement/norm computation —
+        the zone check runs once per inventory round, so this is a sweep hot
+        path.  ``sqrt((t−a)²) == sqrt((a−t)²)`` exactly (IEEE negation), so
+        the shared norm equals both :func:`euclidean_distances`' distance and
+        :meth:`DirectionalAntenna.off_boresight_angles`' normalisation
+        bit-for-bit, and the mask matches the scalar method's decisions.
         """
         antenna_pos = np.asarray(antenna_pos, dtype=float)
         tag_positions = np.asarray(tag_positions, dtype=float)
-        mask = euclidean_distances(antenna_pos, tag_positions) <= self.max_range_m
+        dx = tag_positions[..., 0] - antenna_pos[..., 0]
+        dy = tag_positions[..., 1] - antenna_pos[..., 1]
+        dz = tag_positions[..., 2] - antenna_pos[..., 2]
+        norm = np.sqrt(dx * dx + dy * dy + dz * dz)
+        mask = norm <= self.max_range_m
         if self.beam_limited:
-            angles = self.antenna.off_boresight_angles(antenna_pos, tag_positions)
-            mask = mask & (angles <= math.radians(self.antenna.beamwidth_deg))
+            antenna = self.antenna
+            degenerate = norm == 0.0
+            safe_norm = np.where(degenerate, 1.0, norm)
+            bx, by, bz = _unit_boresight_components(antenna.boresight)
+            cos_angle = (dx / safe_norm) * bx + (dy / safe_norm) * by + (dz / safe_norm) * bz
+            # np.clip(lo, hi) evaluates min(max(x, lo), hi) elementwise — the
+            # exact expression off_boresight_angles spells out.
+            cos_angle = np.clip(cos_angle, -1.0, 1.0)
+            angles = np.where(degenerate, 0.0, np.arccos(cos_angle))
+            mask = mask & (angles <= math.radians(antenna.beamwidth_deg))
         return mask
 
     def contains(self, antenna_pos: Point3D, tag_pos: Point3D) -> bool:

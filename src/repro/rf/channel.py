@@ -76,6 +76,44 @@ class BatchObservation:
 
 
 @dataclass(frozen=True, slots=True)
+class SweepPhysics:
+    """The rng-free physics of a batch of reply attempts.
+
+    Everything :meth:`BackscatterChannel.observe_batch` computes *except* the
+    noise draws: geometry, link budget, multipath fades, and the clean
+    Eq. (1) phase.  The fused two-phase sweep engine evaluates this once over
+    a whole sweep's event table, then combines it with noise columns that
+    were drawn earlier, during scheduling
+    (:meth:`BackscatterChannel.observe_scheduled`).
+    """
+
+    true_distance_m: np.ndarray
+    """Antenna-to-tag one-way distances, shape ``(M,)``."""
+
+    rssi_base_dbm: np.ndarray
+    """Reverse-link power before fading and noise, shape ``(M,)``."""
+
+    decodable: np.ndarray
+    """Link-budget decodability mask (forward and reverse limits)."""
+
+    fade_db: np.ndarray
+    """Multipath fade relative to the direct path, dB."""
+
+    deep_fade: np.ndarray
+    """``fade_db <= noise.fade_dropout_threshold_db`` — the booleans that gate
+    the dropout uniform draw (the only physics the rng order depends on)."""
+
+    perturbation_rad: np.ndarray
+    """Multipath phase perturbation, radians."""
+
+    wrapped_phase_rad: np.ndarray
+    """Clean Eq. (1) phase wrapped to [0, 2*pi), before perturbation/noise."""
+
+    def __len__(self) -> int:
+        return int(self.true_distance_m.size)
+
+
+@dataclass(frozen=True, slots=True)
 class BackscatterChannel:
     """A complete monostatic backscatter channel for one reader antenna."""
 
@@ -111,31 +149,29 @@ class BackscatterChannel:
             antenna_pos, tag_pos, self.frequency_hz
         )
 
-    def observe_batch(
+    def sweep_physics(
         self,
         antenna_positions: np.ndarray,
         tag_positions: np.ndarray,
-        rng: np.random.Generator,
         device_offsets_total: "float | np.ndarray | None" = None,
         extra_positions: np.ndarray | None = None,
         extra_coefficients: np.ndarray | None = None,
         extra_decays: np.ndarray | None = None,
         extra_event_index: np.ndarray | None = None,
-    ) -> BatchObservation:
-        """Simulate a batch of reply attempts in one vectorized pass.
+    ) -> SweepPhysics:
+        """Evaluate the rng-free physics of a batch of reply attempts.
+
+        One vectorized pass over geometry, link budget
+        (:meth:`~repro.rf.propagation.LinkBudget.link_observables`), multipath
+        complex gains, and the clean Eq. (1) phase.  Every per-element
+        expression matches the per-event arithmetic of the scalar path, so
+        evaluating a whole sweep's events at once produces bitwise the same
+        values as evaluating them round by round.
 
         Parameters
         ----------
         antenna_positions, tag_positions:
             ``(M, 3)`` arrays of the antenna and tag position per attempt.
-        rng:
-            Shared random generator.  Noise is drawn per event, in event
-            order, with the per-event draw sequence ``[dropout uniform (only
-            when the fade is above the dropout threshold and the dropout
-            probability is non-zero), phase normal (when phase noise is on),
-            RSSI normal (when RSSI noise is on)]`` — exactly the sequence the
-            scalar :meth:`observe` loop consumes, which is what makes batched
-            and sequential sweeps bit-identical.
         device_offsets_total:
             Per-event device offset ``mu`` (radians).  Defaults to this
             channel's own :attr:`device_offsets`.  The reader passes a
@@ -173,32 +209,127 @@ class BackscatterChannel:
         )
         fade_db, perturbation = MultipathChannel.fades_and_perturbations(gains)
 
-        # Randomness: NoiseModel draws per event, in event order, so the
-        # scalar and batched paths consume the shared generator identically.
-        # Zero draws are added as exact no-ops (x + 0.0 == x for the values
-        # seen here), mirroring the scalar noise methods' std == 0 shortcuts.
-        dropped, phase_noise, rssi_noise = self.noise.draw_event_noise(fade_db, rng)
-
-        readable = decodable & ~dropped
-
-        # Eq. (1) phase pipeline, replicating the scalar operation order:
-        # wrapped round-trip phase, + multipath perturbation, wrap, + noise,
-        # wrap, quantise.
+        # Clean Eq. (1) phase, wrapped — the first step of the scalar
+        # operation order (perturbation/noise/quantisation come later, once
+        # the noise columns are known).
         theta = TWO_PI * (2.0 * distance) / wavelength + device_offsets_total
-        phase = np.mod(theta, TWO_PI)
-        phase = wrap_phase(phase + perturbation)
+        wrapped = np.mod(theta, TWO_PI)
+
+        return SweepPhysics(
+            true_distance_m=distance,
+            rssi_base_dbm=rssi_base,
+            decodable=decodable,
+            fade_db=fade_db,
+            deep_fade=fade_db <= self.noise.fade_dropout_threshold_db,
+            perturbation_rad=perturbation,
+            wrapped_phase_rad=wrapped,
+        )
+
+    def observe_scheduled(
+        self,
+        physics: SweepPhysics,
+        dropped: np.ndarray,
+        phase_noise: np.ndarray,
+        rssi_noise: np.ndarray,
+    ) -> BatchObservation:
+        """Combine precomputed physics with pre-drawn noise columns.
+
+        ``dropped`` holds the dropout decisions the scheduler drew; events in
+        a deep fade are dropped regardless (the scalar ``read_dropped`` rule),
+        so the final dropout mask is ``dropped | deep_fade``.  The phase
+        pipeline replicates the scalar operation order exactly: wrapped
+        round-trip phase, + multipath perturbation, wrap, + noise, wrap,
+        quantise.
+        """
+        final_dropped = np.asarray(dropped, dtype=bool) | physics.deep_fade
+        readable = physics.decodable & ~final_dropped
+
+        phase = wrap_phase(physics.wrapped_phase_rad + physics.perturbation_rad)
         phase = wrap_phase(phase + phase_noise)
         if self.quantise:
             phase = quantise_phase(phase)
 
-        rssi = rssi_base + fade_db + rssi_noise
+        rssi = physics.rssi_base_dbm + physics.fade_db + rssi_noise
 
         return BatchObservation(
             phase_rad=phase,
             rssi_dbm=rssi,
-            true_distance_m=distance,
+            true_distance_m=physics.true_distance_m,
             readable=readable,
         )
+
+    def observe_sweep(
+        self,
+        antenna_positions: np.ndarray,
+        tag_positions: np.ndarray,
+        *,
+        dropped: np.ndarray,
+        phase_noise: np.ndarray,
+        rssi_noise: np.ndarray,
+        device_offsets_total: "float | np.ndarray | None" = None,
+        extra_positions: np.ndarray | None = None,
+        extra_coefficients: np.ndarray | None = None,
+        extra_decays: np.ndarray | None = None,
+        extra_event_index: np.ndarray | None = None,
+    ) -> tuple[BatchObservation, np.ndarray]:
+        """Phase 2 of the fused sweep: all rounds' physics in one pass.
+
+        Takes the noise columns the scheduling phase pre-drew and returns the
+        observation plus the exact deep-fade booleans, which the reader
+        compares against the booleans the scheduler *assumed* when drawing
+        (rolling back the generator when they disagree).
+        """
+        physics = self.sweep_physics(
+            antenna_positions,
+            tag_positions,
+            device_offsets_total=device_offsets_total,
+            extra_positions=extra_positions,
+            extra_coefficients=extra_coefficients,
+            extra_decays=extra_decays,
+            extra_event_index=extra_event_index,
+        )
+        observation = self.observe_scheduled(physics, dropped, phase_noise, rssi_noise)
+        return observation, physics.deep_fade
+
+    def observe_batch(
+        self,
+        antenna_positions: np.ndarray,
+        tag_positions: np.ndarray,
+        rng: np.random.Generator,
+        device_offsets_total: "float | np.ndarray | None" = None,
+        extra_positions: np.ndarray | None = None,
+        extra_coefficients: np.ndarray | None = None,
+        extra_decays: np.ndarray | None = None,
+        extra_event_index: np.ndarray | None = None,
+    ) -> BatchObservation:
+        """Simulate a batch of reply attempts in one vectorized pass.
+
+        Composes :meth:`sweep_physics` with the per-event noise draws and
+        :meth:`observe_scheduled`.  Noise is drawn per event, in event order,
+        with the per-event draw sequence ``[dropout uniform (only when the
+        fade is above the dropout threshold and the dropout probability is
+        non-zero), phase normal (when phase noise is on), RSSI normal (when
+        RSSI noise is on)]`` — exactly the sequence the scalar
+        :meth:`observe` loop consumes, which is what makes batched and
+        sequential sweeps bit-identical.
+        """
+        physics = self.sweep_physics(
+            antenna_positions,
+            tag_positions,
+            device_offsets_total=device_offsets_total,
+            extra_positions=extra_positions,
+            extra_coefficients=extra_coefficients,
+            extra_decays=extra_decays,
+            extra_event_index=extra_event_index,
+        )
+        # Randomness: NoiseModel draws per event, in event order, so the
+        # scalar and batched paths consume the shared generator identically.
+        # Zero draws are added as exact no-ops (x + 0.0 == x for the values
+        # seen here), mirroring the scalar noise methods' std == 0 shortcuts.
+        dropped, phase_noise, rssi_noise = self.noise.draw_event_noise_scheduled(
+            physics.deep_fade, rng
+        )
+        return self.observe_scheduled(physics, dropped, phase_noise, rssi_noise)
 
     def observe(
         self,

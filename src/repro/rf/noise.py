@@ -69,26 +69,46 @@ class NoiseModel:
         """Per-event noise draws for a batch of reads, in event order.
 
         Returns ``(dropped, phase_noise, rssi_noise)`` arrays of shape
-        ``(M,)``.  This is the single production implementation of the
-        per-event draw-order contract: each event consumes the generator
-        exactly as the scalar methods would in the sequence
-        ``read_dropped`` → ``noisy_phase`` → ``noisy_rssi`` — a dropout
-        uniform only when the fade is above the threshold and the dropout
-        probability is non-zero, then one normal per enabled noise term.
-        ``tests/test_batch_sweep.py`` pins the equivalence, so editing either
-        side of the contract fails a test instead of silently diverging the
-        batched and scalar simulations.
+        ``(M,)``.  Delegates to :meth:`draw_event_noise_scheduled` after
+        reducing the fades to deep-fade booleans; the threshold comparison is
+        the only thing the draws need from the fades.
+        ``tests/test_batch_sweep.py`` pins the equivalence with the scalar
+        methods, so editing either side of the contract fails a test instead
+        of silently diverging the batched and scalar simulations.
         """
-        count = int(fade_db.shape[0])
+        deep_fade = np.asarray(fade_db) <= self.fade_dropout_threshold_db
+        return self.draw_event_noise_scheduled(deep_fade, rng)
+
+    def draw_event_noise_scheduled(
+        self, deep_fade: np.ndarray, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-event noise draws given precomputed deep-fade booleans.
+
+        This is the single production implementation of the per-event
+        draw-order contract: each event consumes the generator exactly as the
+        scalar methods would in the sequence ``read_dropped`` →
+        ``noisy_phase`` → ``noisy_rssi`` — a dropout uniform only when the
+        fade is above the threshold (``deep_fade`` false) and the dropout
+        probability is non-zero, then one normal per enabled noise term.
+
+        Splitting the booleans from the fade values is what enables the
+        fused two-phase sweep: the scheduling phase draws noise under
+        *assumed* booleans before any physics has run, and the physics phase
+        verifies the assumption afterwards (rolling the generator back on the
+        rare mis-guess).
+        """
+        count = int(deep_fade.shape[0])
         dropout_p = self.random_dropout_probability
         phase_std = self.phase_noise_std_rad
         rssi_std = self.rssi_noise_std_db
-        threshold = self.fade_dropout_threshold_db
         dropped = np.zeros(count, dtype=bool)
         phase_noise = np.zeros(count)
         rssi_noise = np.zeros(count)
-        for i in range(count):
-            if fade_db[i] <= threshold:
+        # One bulk conversion instead of a NumPy scalar read per event: this
+        # loop runs once per inventory round on the sweep's critical path.
+        deep_list = np.asarray(deep_fade).tolist()
+        for i, deep in enumerate(deep_list):
+            if deep:
                 dropped[i] = True
             elif dropout_p != 0.0:
                 dropped[i] = rng.random() < dropout_p

@@ -114,11 +114,25 @@ class FrameSlottedAloha:
 
     def __post_init__(self) -> None:
         self._q_algorithm = QAlgorithm(q_fp=self.initial_q)
+        self._duration_lut: np.ndarray | None = None
+        self._ends_buffer: np.ndarray | None = None
 
     @property
     def current_q(self) -> int:
         """The frame-size exponent that the next round will use."""
         return self._q_algorithm.q
+
+    def scheduling_checkpoint(self) -> float:
+        """The protocol's mutable state (the floating-point Q) as a snapshot.
+
+        The fused sweep engine checkpoints this together with the rng state so
+        a mis-guessed noise schedule can be rolled back and replayed exactly.
+        """
+        return self._q_algorithm.q_fp
+
+    def restore_scheduling_checkpoint(self, q_fp: float) -> None:
+        """Restore the state captured by :meth:`scheduling_checkpoint`."""
+        self._q_algorithm.q_fp = q_fp
 
     def run_round(
         self,
@@ -167,6 +181,92 @@ class FrameSlottedAloha:
             if self.adaptive:
                 self._q_algorithm.on_slot(outcome)
         return events
+
+    def run_round_schedule(
+        self,
+        tag_ids: Sequence[str],
+        start_time_s: float,
+        rng: np.random.Generator,
+    ) -> "tuple[list[str] | np.ndarray, np.ndarray, float]":
+        """Scheduling-only round: the array-native twin of :meth:`run_round`.
+
+        Returns ``(success_tag_ids, success_end_times, round_duration_s)``
+        without materialising a :class:`SlotEvent` per slot; when ``tag_ids``
+        is an index array (the fused scheduler's form) the winners come back
+        as an array too.  The fused
+        two-phase sweep engine runs hundreds of rounds per sweep, and the
+        per-slot dataclass construction of :meth:`run_round` dominates its
+        scheduling cost; this path computes the identical outcome from the
+        same single ``rng.integers`` draw:
+
+        * slot end times accumulate through ``np.cumsum``, whose sequential
+          left-to-right adds replicate the scalar loop's ``clock += duration``
+          float-for-float;
+        * the adaptive Q walk replays :meth:`QAlgorithm.on_slot`'s exact
+          ``min``/``max`` arithmetic per slot (on outcome codes, not event
+          objects), leaving the protocol state bit-identical.
+
+        ``tests/test_fused_sweep.py`` pins the equivalence against
+        :meth:`run_round`.
+        """
+        timings = self.timings
+        first_slot_start = start_time_s + timings.round_overhead_s
+        frame_size = self._q_algorithm.frame_size
+
+        if len(tag_ids) == 0:
+            # An empty round still burns one empty slot of air time (and,
+            # like run_round, skips the Q update).
+            end = first_slot_start + timings.empty_slot_s
+            duration = (end - first_slot_start) + timings.round_overhead_s
+            return [], np.empty(0), duration
+
+        chosen = rng.integers(0, frame_size, size=len(tag_ids))
+        counts = np.bincount(chosen, minlength=frame_size)
+        if self._duration_lut is None:
+            # Slot duration by occupancy class: 0 empty, 1 success, 2+ collision.
+            self._duration_lut = np.array(
+                [timings.empty_slot_s, timings.success_slot_s, timings.collision_slot_s]
+            )
+        durations = self._duration_lut[np.minimum(counts, 2)]
+        # ends[0] is the first slot's start; ends[k + 1] is slot k's end.
+        # In-place left-to-right accumulate == the scalar loop's sequential
+        # ``clock += duration`` float-for-float.  The buffer is reused across
+        # rounds: nothing below escapes except fancy-indexed copies.
+        ends = self._ends_buffer
+        if ends is None or ends.size != frame_size + 1:
+            self._ends_buffer = ends = np.empty(frame_size + 1)
+        ends[0] = first_slot_start
+        ends[1:] = durations
+        np.add.accumulate(ends, out=ends)
+
+        if self.adaptive:
+            algorithm = self._q_algorithm
+            q_fp = algorithm.q_fp
+            c = algorithm.c
+            q_min = algorithm.q_min
+            q_max = algorithm.q_max
+            # Successful slots never move Q, so replaying only the empty and
+            # collision slots (in slot order) walks the same clamped path.
+            for occupancy in counts[counts != 1].tolist():
+                if occupancy == 0:
+                    q_fp = max(q_min, q_fp - c)
+                else:
+                    q_fp = min(q_max, q_fp + c)
+            algorithm.q_fp = q_fp
+
+        winners = np.nonzero(counts[chosen] == 1)[0]
+        winner_slots = chosen[winners]
+        order = np.argsort(winner_slots)
+        winners = winners[order]
+        if isinstance(tag_ids, np.ndarray):
+            # Index-array form (the fused scheduler): winners gather in one
+            # fancy index, no per-winner Python objects.
+            success_ids = tag_ids[winners]
+        else:
+            success_ids = [tag_ids[i] for i in winners]
+        success_ends = ends[winner_slots[order] + 1]
+        duration = (float(ends[-1]) - float(ends[0])) + timings.round_overhead_s
+        return success_ids, success_ends, duration
 
     def round_duration_s(self, events: Sequence[SlotEvent]) -> float:
         """Total air time of a round produced by :meth:`run_round`."""

@@ -65,6 +65,7 @@ class NeighborGrid:
             key: np.array(indices, dtype=np.intp) for key, indices in buckets.items()
         }
         self._neighbor_cache: dict[int, np.ndarray] = {}
+        self._packed: tuple[np.ndarray, np.ndarray, np.ndarray] | None = None
 
     @property
     def radius(self) -> float:
@@ -109,3 +110,47 @@ class NeighborGrid:
             candidates = candidates[distances <= self._radius]
         self._neighbor_cache[index] = candidates
         return candidates
+
+    def packed_neighbors(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """CSR packing of every point's neighbour list (cached).
+
+        Returns ``(counts, offsets, flat)``: point ``i``'s neighbours are
+        ``flat[offsets[i] : offsets[i] + counts[i]]``, sorted ascending — the
+        same order :meth:`neighbors_of` returns.  The fused sweep engine uses
+        this to expand a whole event table's coupling scatterers in a few
+        NumPy calls instead of one Python lookup per decoded reply.
+        """
+        if self._packed is None:
+            lists = [self.neighbors_of(i) for i in range(len(self))]
+            counts = np.array([len(n) for n in lists], dtype=np.intp)
+            offsets = np.concatenate(([0], np.cumsum(counts)))[:-1]
+            flat = (
+                np.concatenate(lists) if lists and counts.sum() else np.empty(0, dtype=np.intp)
+            )
+            self._packed = (counts, offsets, flat.astype(np.intp, copy=False))
+        return self._packed
+
+    def neighbors_for_events(
+        self, tag_indices: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-event neighbour pairs for a batch of observed tags.
+
+        ``tag_indices`` names the observed point of each event.  Returns
+        ``(event_index, neighbor_index)`` — one row per (event, neighbour)
+        pair, grouped by event in event order with each event's neighbours
+        ascending — exactly the flattening the per-round engine builds from
+        repeated :meth:`neighbors_of` calls, computed via the CSR arrays.
+        """
+        counts, offsets, flat = self.packed_neighbors()
+        tag_indices = np.asarray(tag_indices, dtype=np.intp)
+        event_counts = counts[tag_indices]
+        total = int(event_counts.sum())
+        if total == 0:
+            return np.empty(0, dtype=np.intp), np.empty(0, dtype=np.intp)
+        event_index = np.repeat(np.arange(tag_indices.size, dtype=np.intp), event_counts)
+        # Position of each pair inside ``flat``: the event's CSR offset plus
+        # the pair's rank within its event.
+        pair_starts = np.concatenate(([0], np.cumsum(event_counts)))[:-1]
+        within_event = np.arange(total, dtype=np.intp) - np.repeat(pair_starts, event_counts)
+        flat_position = np.repeat(offsets[tag_indices], event_counts) + within_event
+        return event_index, flat[flat_position]

@@ -12,20 +12,29 @@ callables mapping time to antenna position and to tag positions, so the same
 reader serves the antenna-moving case (librarian pushing a cart) and the
 tag-moving case (baggage on a conveyor belt).
 
-Two sweep implementations share one RF kernel:
+Three sweep implementations share one RF kernel:
 
-* the **batched** path (default) gathers each round's successful slots into
-  structure-of-arrays batches and evaluates the whole RF pipeline in
-  vectorized NumPy (:meth:`~repro.rf.channel.BackscatterChannel.observe_batch`),
-  with coupling neighbours found via a spatial hash
+* the **fused** two-phase engine (default): a scheduling pass runs the
+  sequential round loop (zone membership, MAC slotting, per-event noise
+  draws) and emits the whole sweep as a structure-of-arrays
+  :class:`~repro.rfid.event_table.SweepEventTable`; a physics pass then
+  evaluates every round's events in one fused NumPy call
+  (:meth:`~repro.rf.channel.BackscatterChannel.observe_sweep`).  Because the
+  dropout draw is conditional on deep multipath fades, the scheduler draws
+  optimistically and the physics pass verifies, rolling the generator back on
+  the (rare) mis-guess — see :meth:`RFIDReader.sweep_events`;
+* the **per-round batched** path (``engine="round"``) gathers each round's
+  successful slots into per-round batches through
+  :meth:`~repro.rf.channel.BackscatterChannel.observe_batch`, with coupling
+  neighbours found via a spatial hash
   (:class:`~repro.rfid.coupling.NeighborGrid`) for static layouts;
-* the **scalar** path (``batched=False``) is the original read-at-a-time
-  reference loop.
+* the **scalar** path (``batched=False`` / ``engine="scalar"``) is the
+  original read-at-a-time reference loop.
 
-Both consume the shared random generator in the identical order (one
+All three consume the shared random generator in the identical order (one
 ``rng.integers`` per round, then the fixed per-event noise-draw sequence), so
 their read logs are **bit-identical** — pinned by
-``tests/test_batch_sweep.py``.
+``tests/test_batch_sweep.py`` and ``tests/test_fused_sweep.py``.
 """
 
 from __future__ import annotations
@@ -44,6 +53,7 @@ from ..rf.multipath import Reflector
 from ..rf.phase_model import DeviceOffsets
 from .aloha import FrameSlottedAloha, SlotOutcome
 from .coupling import NeighborGrid
+from .event_table import SweepEventTable
 from .reading import ReadBatch, ReadLog, TagRead
 from .tag import Tag, TagCollection
 
@@ -52,6 +62,256 @@ AntennaPositionFn = Callable[[float], Point3D]
 
 TagPositionFn = Callable[[str, float], Point3D]
 """Maps (tag id, time in seconds) to that tag's position."""
+
+_SWEEP_ENGINES = ("fused", "round", "scalar")
+"""The three sweep implementations; all bit-identical from the same seed."""
+
+_MAX_FUSED_ATTEMPTS = 16
+"""Optimistic schedule/verify iterations before the exact per-round fallback.
+
+Each retry replays only the schedule tail after the corrected round plus one
+fused physics pass, so attempts are cheap; the cap exists to bound the truly
+pathological channels (deep fades on more rounds than this), which drop to
+the exact per-round mode instead."""
+
+_COUPLING_CHUNK_CELLS = 262_144
+"""Cell budget (events x population) per chunk of the dense coupling filter."""
+
+_PAIRED_FALLBACK_CHUNK = 512
+"""Event chunk for the cross-product diagonal of paired-query-less providers."""
+
+_EVENT_INDEX_CACHE = np.arange(64, dtype=np.intp)
+_EVENT_INDEX_CACHE.setflags(write=False)
+
+
+def _event_indices(count: int) -> np.ndarray:
+    """``np.arange(count)`` served from a shared grow-only read-only cache.
+
+    The per-round RF kernel used to allocate the same small index ranges
+    three times per inventory round; every consumer only reads them, so one
+    cached buffer (doubled on demand) serves every round of every sweep.
+    """
+    global _EVENT_INDEX_CACHE
+    if count > _EVENT_INDEX_CACHE.size:
+        size = _EVENT_INDEX_CACHE.size
+        while size < count:
+            size *= 2
+        cache = np.arange(size, dtype=np.intp)
+        cache.setflags(write=False)
+        _EVENT_INDEX_CACHE = cache
+    return _EVENT_INDEX_CACHE[:count]
+
+
+class _CouplingScratch:
+    """Per-sweep scratch buffers for the per-round dense coupling filter."""
+
+    __slots__ = ("_within",)
+
+    def __init__(self) -> None:
+        self._within: np.ndarray | None = None
+
+    def within_mask(self, distances: np.ndarray, radius: float) -> np.ndarray:
+        """``distances <= radius`` written into a reused per-sweep buffer.
+
+        The buffer grows to the largest (events x population) round seen so
+        far; every cell of the returned view is overwritten, so stale values
+        from previous rounds cannot leak.
+        """
+        rows, cols = distances.shape
+        buffer = self._within
+        if buffer is None or buffer.shape[0] < rows or buffer.shape[1] < cols:
+            self._within = buffer = np.empty(
+                (max(rows, 16), cols), dtype=bool
+            )
+        view = buffer[:rows, :cols]
+        np.less_equal(distances, radius, out=view)
+        return view
+
+
+@dataclass(slots=True)
+class _SweepSetup:
+    """Per-sweep invariants shared by the batched and fused engines."""
+
+    ids: list[str]
+    index_of: dict[str, int]
+    mu_by_tag: np.ndarray
+    provider: object
+    static_layout: bool
+    antenna_positions_at: object
+    antenna_position_row: object
+    coupling_on: bool
+    radius: float
+    base_positions: np.ndarray | None
+    grid: NeighborGrid | None
+
+
+class _SweepScheduler:
+    """Phase 1 of the fused sweep: the rng-owning round loop, resumable.
+
+    Runs the sequential inventory loop — zone membership, MAC slotting (via
+    :meth:`~repro.rfid.aloha.FrameSlottedAloha.run_round_schedule`), the
+    per-event noise draws — and emits the whole sweep as a
+    :class:`~repro.rfid.event_table.SweepEventTable`.  Deep-fade booleans for
+    the draws come from ``corrections`` where a prior physics pass computed
+    them, and are assumed ``False`` elsewhere.
+
+    Entry state (clock, protocol Q, rng state) is checkpointed every
+    :attr:`CHECKPOINT_STRIDE` rounds, so when the physics pass finds a
+    mis-guessed round the schedule is :meth:`resume`-d from the nearest
+    snapshot — the long unchanged prefix is kept, not replayed.
+    """
+
+    CHECKPOINT_STRIDE = 8
+    """Rounds between state snapshots.  A resume replays forward from the
+    nearest snapshot at or before the corrected round — replayed rounds
+    consume the generator identically, so the stride only trades a few
+    microseconds of capture per round against a bounded replay on rollback."""
+
+    def __init__(
+        self,
+        reader: "RFIDReader",
+        setup: _SweepSetup,
+        antenna_position: AntennaPositionFn,
+        duration_s: float,
+        rng: np.random.Generator,
+    ) -> None:
+        self._reader = reader
+        self._setup = setup
+        self._antenna_position = antenna_position
+        self._duration_s = duration_s
+        self._rng = rng
+        # One entry per event-bearing round: (round id, times, tag indices,
+        # dropped, phase noise, rssi noise, assumed deep).
+        self._parts: list[tuple] = []
+        # Snapshot per CHECKPOINT_STRIDE-th round:
+        # round index -> (clock, protocol q_fp, rng state).
+        self._checkpoints: dict[int, tuple[float, float, dict]] = {}
+
+    def run(self, corrections: "dict[int, np.ndarray]") -> SweepEventTable:
+        """Schedule the whole sweep from the beginning."""
+        self._parts.clear()
+        self._checkpoints.clear()
+        return self._run_from(0, 0.0, corrections)
+
+    def resume(
+        self, round_index: int, corrections: "dict[int, np.ndarray]"
+    ) -> SweepEventTable:
+        """Replay the schedule from ``round_index``'s nearest checkpoint.
+
+        Restores the generator and protocol state captured at the last
+        snapshot at or before the corrected round; the replayed rounds
+        consume the generator exactly as before (corrections included), so
+        only the mis-guessed round's noise actually changes.
+        """
+        base = (round_index // self.CHECKPOINT_STRIDE) * self.CHECKPOINT_STRIDE
+        clock, q_fp, rng_state = self._checkpoints[base]
+        self._rng.bit_generator.state = rng_state
+        self._reader.protocol.restore_scheduling_checkpoint(q_fp)
+        for stale in [key for key in self._checkpoints if key >= base]:
+            del self._checkpoints[stale]
+        while self._parts and self._parts[-1][0] >= base:
+            self._parts.pop()
+        return self._run_from(base, clock, corrections)
+
+    def _run_from(
+        self, round_index: int, clock: float, corrections: "dict[int, np.ndarray]"
+    ) -> SweepEventTable:
+        reader = self._reader
+        setup = self._setup
+        antenna_position = self._antenna_position
+        duration_s = self._duration_s
+        rng = self._rng
+        zone = reader.config.reading_zone
+        noise = reader.config.channel.noise
+        protocol = reader.protocol
+        parts = self._parts
+        checkpoints = self._checkpoints
+        clock_buffer = np.empty(1)
+
+        stride = self.CHECKPOINT_STRIDE
+        while clock < duration_s:
+            if round_index % stride == 0:
+                checkpoints[round_index] = (
+                    clock,
+                    protocol.scheduling_checkpoint(),
+                    rng.bit_generator.state,
+                )
+            antenna_row, round_positions = reader._round_start_geometry(
+                setup, antenna_position, clock, clock_buffer
+            )
+            in_zone_mask = zone.contains_many(antenna_row, round_positions)
+            # Population indices stand in for the id strings: run_round's rng
+            # draw depends only on the participant count, and the winners come
+            # back as positions into this array.
+            in_zone = np.nonzero(in_zone_mask)[0]
+
+            success_ids, success_ends, round_time = protocol.run_round_schedule(
+                in_zone, clock, rng
+            )
+            if len(success_ids):
+                # Slot end times are monotone, so this prefix filter equals
+                # the scalar loop's "first read past the deadline breaks".
+                count = int(np.searchsorted(success_ends, duration_s, side="right"))
+                if count:
+                    assumed = corrections.get(round_index)
+                    if assumed is None:
+                        assumed = np.zeros(count, dtype=bool)
+                    dropped, phase_noise, rssi_noise = (
+                        noise.draw_event_noise_scheduled(assumed, rng)
+                    )
+                    parts.append(
+                        (
+                            round_index,
+                            success_ends[:count],
+                            np.asarray(success_ids[:count], dtype=np.intp),
+                            dropped,
+                            phase_noise,
+                            rssi_noise,
+                            assumed,
+                        )
+                    )
+
+            if round_time <= 0:
+                raise RuntimeError("inventory round produced non-positive duration")
+            clock += round_time
+            round_index += 1
+
+        return self._build_table(round_index)
+
+    def _build_table(self, round_count: int) -> SweepEventTable:
+        parts = self._parts
+        if parts:
+            round_ids = np.concatenate(
+                [np.full(part[1].size, part[0], dtype=np.intp) for part in parts]
+            )
+            columns = tuple(
+                np.concatenate([part[position] for part in parts])
+                for position in range(1, 7)
+            )
+        else:
+            round_ids = np.empty(0, dtype=np.intp)
+            columns = (
+                np.empty(0),
+                np.empty(0, dtype=np.intp),
+                np.empty(0, dtype=bool),
+                np.empty(0),
+                np.empty(0),
+                np.empty(0, dtype=bool),
+            )
+        reader = self._reader
+        return SweepEventTable(
+            tag_ids=list(self._setup.ids),
+            channel_index=reader.config.channel.channel_index,
+            antenna_port=reader.config.antenna_port,
+            round_count=round_count,
+            times_s=columns[0],
+            tag_indices=columns[1],
+            round_ids=round_ids,
+            dropped=columns[2],
+            phase_noise_rad=columns[3],
+            rssi_noise_db=columns[4],
+            assumed_deep=columns[5],
+        )
 
 
 @dataclass(frozen=True, slots=True)
@@ -153,6 +413,9 @@ class RFIDReader:
         self.config = config if config is not None else ReaderConfig()
         self.protocol = protocol if protocol is not None else FrameSlottedAloha()
         self._per_tag_channels: dict[str, BackscatterChannel] = {}
+        self.last_sweep_stats: dict = {}
+        """Diagnostics of the most recent fused sweep: optimistic attempts,
+        rolled-back rounds, and whether the per-round fallback engaged."""
 
     def _device_offsets_for(self, tag: Tag) -> DeviceOffsets:
         """Eq. (1) ``mu`` components for one tag behind this reader."""
@@ -191,6 +454,7 @@ class RFIDReader:
         tag_position: TagPositionFn | None = None,
         rng: np.random.Generator | None = None,
         batched: bool = True,
+        engine: str | None = None,
     ) -> ReadLog:
         """Run inventory rounds for ``duration_s`` seconds and return the read log.
 
@@ -209,14 +473,28 @@ class RFIDReader:
         rng:
             Random generator controlling slot choices, noise, and dropouts.
         batched:
-            Use the round-batched vectorized RF kernel (default).  The scalar
-            path observes one read at a time; both produce bit-identical logs
-            from the same seed.
+            Back-compat switch: ``False`` forces the scalar reference loop.
+        engine:
+            Which sweep engine to run — ``"fused"`` (default: two-phase
+            scheduling + whole-sweep physics), ``"round"`` (the per-round
+            batched kernel), or ``"scalar"`` (the read-at-a-time reference
+            loop).  All three produce bit-identical logs from the same seed;
+            an explicit ``engine`` overrides ``batched``.
         """
         if duration_s <= 0:
             raise ValueError(f"duration must be positive, got {duration_s}")
+        if engine is None:
+            engine = "fused" if batched else "scalar"
+        if engine not in _SWEEP_ENGINES:
+            raise ValueError(
+                f"engine must be one of {_SWEEP_ENGINES}, got {engine!r}"
+            )
         rng = rng if rng is not None else np.random.default_rng()
-        if batched:
+        if engine == "fused":
+            return self.sweep_events(
+                tags, antenna_position, duration_s, tag_position, rng
+            ).to_read_log()
+        if engine == "round":
             return self._sweep_batched(tags, antenna_position, duration_s, tag_position, rng)
         return self._sweep_scalar(tags, antenna_position, duration_s, tag_position, rng)
 
@@ -321,7 +599,84 @@ class RFIDReader:
         return tuple(scatterers)
 
     # ------------------------------------------------------------------
-    # Batched path
+    # Shared sweep setup
+    # ------------------------------------------------------------------
+
+    def _sweep_setup(
+        self,
+        tags: TagCollection,
+        tag_position: TagPositionFn | None,
+        antenna_position: AntennaPositionFn,
+    ) -> "_SweepSetup":
+        """Resolve the per-sweep invariants shared by the batched engines."""
+        config = self.config
+        tag_list = list(tags)
+        ids = [tag.tag_id for tag in tag_list]
+        index_of = {tag_id: i for i, tag_id in enumerate(ids)}
+        population = len(ids)
+        # Hoist the per-tag Eq. (1) offsets: theta_TAG varies per tag model,
+        # everything else about the channel is shared.
+        mu_by_tag = np.array(
+            [self._device_offsets_for(tag).total for tag in tag_list], dtype=float
+        )
+
+        provider = self._resolve_tag_positions(tag_position, tags)
+        static_layout = bool(getattr(provider, "is_static", False))
+        antenna_positions_at = getattr(antenna_position, "positions_at", None)
+        antenna_position_row = getattr(antenna_position, "position_row", None)
+
+        coupling_on = config.tag_coupling_coefficient > 0.0 and population > 1
+        radius = config.tag_coupling_radius_m
+        base_positions: np.ndarray | None = None
+        grid: NeighborGrid | None = None
+        if static_layout:
+            base_positions = provider.positions_at(ids, np.zeros(1))[0]
+            # Copy: the provider may hand out a broadcast view of its cache.
+            base_positions = np.array(base_positions, dtype=float)
+            if coupling_on:
+                grid = NeighborGrid(base_positions, radius)
+
+        return _SweepSetup(
+            ids=ids,
+            index_of=index_of,
+            mu_by_tag=mu_by_tag,
+            provider=provider,
+            static_layout=static_layout,
+            antenna_positions_at=antenna_positions_at,
+            antenna_position_row=antenna_position_row,
+            coupling_on=coupling_on,
+            radius=radius,
+            base_positions=base_positions,
+            grid=grid,
+        )
+
+    def _round_start_geometry(
+        self,
+        setup: "_SweepSetup",
+        antenna_position: AntennaPositionFn,
+        clock: float,
+        clock_buffer: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(antenna row, tag rows) at a round's start — the zone-check inputs.
+
+        Shared by every round loop.  Uses the providers' row-level queries
+        when available (identical arithmetic to the ``Point3D`` forms) and a
+        caller-owned one-element time buffer, so the per-round geometry costs
+        no wrapper objects or allocations beyond the providers' own outputs.
+        """
+        if setup.antenna_position_row is not None:
+            antenna_row = setup.antenna_position_row(clock)
+        else:
+            antenna_row = antenna_position(clock).as_array()
+        if setup.static_layout:
+            round_positions = setup.base_positions
+        else:
+            clock_buffer[0] = clock
+            round_positions = setup.provider.positions_at(setup.ids, clock_buffer)[0]
+        return antenna_row, round_positions
+
+    # ------------------------------------------------------------------
+    # Per-round batched path (engine="round")
     # ------------------------------------------------------------------
 
     def _sweep_batched(
@@ -376,35 +731,24 @@ class RFIDReader:
         """Run a sweep and yield one :class:`ReadBatch` per inventory round.
 
         The streaming entry point: instead of returning the finished
-        :class:`ReadLog`, reads are emitted round by round as they are
-        decoded — in a real deployment this is the LLRP report stream the
-        reader pushes while the antenna is still moving.  Rounds that decode
-        no readable reply yield nothing.  Reads within a batch are
-        stable-sorted by timestamp.
+        :class:`ReadLog`, reads are emitted round by round — in a real
+        deployment this is the LLRP report stream the reader pushes while the
+        antenna is still moving.  Rounds that decode no readable reply yield
+        nothing.  Reads within a batch are stable-sorted by timestamp.
 
-        The round loop, RF kernel, and rng draw order are shared with
-        :meth:`sweep`, so concatenating the yielded batches reproduces the
-        batched sweep's read log read for read (pinned by
-        ``tests/test_streaming.py``).
+        Since PR 5 the batches are *replayed* off the fused engine's
+        whole-sweep event table (the simulation runs to completion on the
+        first ``next()``, then yields per-round slices); the rng draw order
+        is owned by the same scheduling loop as :meth:`sweep`, so
+        concatenating the yielded batches reproduces the sweep's read log
+        read for read (pinned by ``tests/test_streaming.py`` and the
+        event-table property test in ``tests/test_fused_sweep.py``).
         """
         if duration_s <= 0:
             raise ValueError(f"duration must be positive, got {duration_s}")
         rng = rng if rng is not None else np.random.default_rng()
-        round_index = 0
-        for times, ids, phases, rssis in self._batched_rounds(
-            tags, antenna_position, duration_s, tag_position, rng
-        ):
-            order = np.argsort(times, kind="stable")
-            yield ReadBatch(
-                timestamps_s=times[order],
-                tag_ids=tuple(ids[i] for i in order),
-                phases_rad=phases[order],
-                rssi_dbm=rssis[order],
-                channel_index=self.config.channel.channel_index,
-                antenna_port=self.config.antenna_port,
-                round_index=round_index,
-            )
-            round_index += 1
+        table = self.sweep_events(tags, antenna_position, duration_s, tag_position, rng)
+        yield from table.iter_round_batches()
 
     def _batched_rounds(
         self,
@@ -417,47 +761,22 @@ class RFIDReader:
         """The round-batched sweep loop, one ``(times, ids, phases, rssis)``
         tuple per inventory round with at least one readable reply.
 
-        Shared by :meth:`_sweep_batched` (which concatenates and globally
-        sorts) and :meth:`sweep_stream` (which emits per-round batches), so
-        there is exactly one implementation of the round loop and both paths
-        consume the rng identically.
+        The per-round reference engine (``engine="round"``): the fused
+        two-phase engine must stay bit-identical to this loop, which in turn
+        is pinned against the scalar loop.
         """
-        config = self.config
-        channel = config.channel
-        zone = config.reading_zone
-        tag_list = list(tags)
-        ids = [tag.tag_id for tag in tag_list]
-        index_of = {tag_id: i for i, tag_id in enumerate(ids)}
-        population = len(ids)
-        # Hoist the per-tag Eq. (1) offsets: theta_TAG varies per tag model,
-        # everything else about the channel is shared.
-        mu_by_tag = np.array(
-            [self._device_offsets_for(tag).total for tag in tag_list], dtype=float
-        )
-
-        provider = self._resolve_tag_positions(tag_position, tags)
-        static_layout = bool(getattr(provider, "is_static", False))
-        antenna_positions_at = getattr(antenna_position, "positions_at", None)
-
-        coupling_on = config.tag_coupling_coefficient > 0.0 and population > 1
-        radius = config.tag_coupling_radius_m
-        base_positions: np.ndarray | None = None
-        grid: NeighborGrid | None = None
-        if static_layout:
-            base_positions = provider.positions_at(ids, np.zeros(1))[0]
-            # Copy: the provider may hand out a broadcast view of its cache.
-            base_positions = np.array(base_positions, dtype=float)
-            if coupling_on:
-                grid = NeighborGrid(base_positions, radius)
+        setup = self._sweep_setup(tags, tag_position, antenna_position)
+        zone = self.config.reading_zone
+        ids = setup.ids
+        scratch = _CouplingScratch()
+        clock_buffer = np.empty(1)
 
         clock = 0.0
         while clock < duration_s:
-            antenna_pos = antenna_position(clock)
-            if static_layout:
-                round_positions = base_positions
-            else:
-                round_positions = provider.positions_at(ids, np.array([clock]))[0]
-            in_zone_mask = zone.contains_many(antenna_pos.as_array(), round_positions)
+            antenna_row, round_positions = self._round_start_geometry(
+                setup, antenna_position, clock, clock_buffer
+            )
+            in_zone_mask = zone.contains_many(antenna_row, round_positions)
             in_zone = [ids[i] for i in np.nonzero(in_zone_mask)[0]]
 
             events = self.protocol.run_round(in_zone, clock, rng)
@@ -475,19 +794,11 @@ class RFIDReader:
             if success_ids:
                 observed = self._observe_round(
                     rng=rng,
-                    channel=channel,
-                    provider=provider,
+                    setup=setup,
                     antenna_position=antenna_position,
-                    antenna_positions_at=antenna_positions_at,
-                    ids=ids,
-                    index_of=index_of,
-                    mu_by_tag=mu_by_tag,
-                    base_positions=base_positions,
-                    grid=grid,
-                    coupling_on=coupling_on,
-                    radius=radius,
                     success_ids=success_ids,
                     success_times=success_times,
+                    scratch=scratch,
                 )
                 if observed is not None:
                     yield observed
@@ -500,31 +811,29 @@ class RFIDReader:
     def _observe_round(
         self,
         rng: np.random.Generator,
-        channel: BackscatterChannel,
-        provider,
+        setup: "_SweepSetup",
         antenna_position: AntennaPositionFn,
-        antenna_positions_at,
-        ids: list[str],
-        index_of: dict[str, int],
-        mu_by_tag: np.ndarray,
-        base_positions: np.ndarray | None,
-        grid: NeighborGrid | None,
-        coupling_on: bool,
-        radius: float,
         success_ids: list[str],
         success_times: list[float],
+        scratch: "_CouplingScratch",
     ) -> "tuple[np.ndarray, list[str], np.ndarray, np.ndarray] | None":
         """Observe one round's successful slots as a single vectorized batch.
 
         Returns the round's readable reads as ``(times, ids, phases, rssis)``
-        columns in slot order, or ``None`` when nothing was readable.
+        columns in slot order, or ``None`` when nothing was readable.  The
+        per-event index arrays come from the shared grow-only cache
+        (:func:`_event_indices`) and the dense coupling filter reuses
+        ``scratch``'s mask buffer — the same (tag index, timestamp) event
+        schema the fused engine's phase 1 emits as a whole-sweep table.
         """
         count = len(success_ids)
-        tag_indices = np.array([index_of[tag_id] for tag_id in success_ids], dtype=np.intp)
+        tag_indices = np.array(
+            [setup.index_of[tag_id] for tag_id in success_ids], dtype=np.intp
+        )
         times = np.array(success_times, dtype=float)
 
-        if antenna_positions_at is not None:
-            antenna_rows = np.asarray(antenna_positions_at(times), dtype=float)
+        if setup.antenna_positions_at is not None:
+            antenna_rows = np.asarray(setup.antenna_positions_at(times), dtype=float)
         else:
             antenna_rows = np.array(
                 [
@@ -535,44 +844,46 @@ class RFIDReader:
             )
 
         extra_positions = extra_index = None
-        if base_positions is not None:
+        if setup.base_positions is not None:
             # Static layout: positions never change; neighbour sets come from
             # the sweep-lifetime spatial hash.
-            event_tag_positions = base_positions[tag_indices]
-            if coupling_on and grid is not None:
-                neighbor_lists = [grid.neighbors_of(int(i)) for i in tag_indices]
+            event_tag_positions = setup.base_positions[tag_indices]
+            if setup.coupling_on and setup.grid is not None:
+                neighbor_lists = [setup.grid.neighbors_of(int(i)) for i in tag_indices]
                 total = sum(len(n) for n in neighbor_lists)
                 if total:
                     extra_index = np.repeat(
-                        np.arange(count, dtype=np.intp),
+                        _event_indices(count),
                         [len(n) for n in neighbor_lists],
                     )
                     flat_neighbors = np.concatenate(neighbor_lists)
-                    extra_positions = base_positions[flat_neighbors]
-        elif not coupling_on:
+                    extra_positions = setup.base_positions[flat_neighbors]
+        elif not setup.coupling_on:
             # Moving tags without coupling: only the observed tags' own
             # positions matter.  Providers evaluate each (tag, time) cell
             # independently, so a pairwise query equals the corresponding
             # cells of the full-population query bitwise.
-            paired = getattr(provider, "positions_paired", None)
+            paired = getattr(setup.provider, "positions_paired", None)
             if paired is not None:
                 event_tag_positions = paired(success_ids, times)
             else:
-                rows = provider.positions_at(success_ids, times)
-                event_tag_positions = rows[np.arange(count), np.arange(count)]
+                rows = setup.provider.positions_at(success_ids, times)
+                indices = _event_indices(count)
+                event_tag_positions = rows[indices, indices]
         else:
             # Moving tags with coupling: evaluate every tag's position at
             # every read time in one array pass, then apply the exact radius
             # filter (the positions change each event, so the spatial hash
             # would have to be rebuilt per event anyway — the dense filter IS
             # that rebuild).
-            all_positions = provider.positions_at(ids, times)
-            event_tag_positions = all_positions[np.arange(count), tag_indices]
+            all_positions = setup.provider.positions_at(setup.ids, times)
+            indices = _event_indices(count)
+            event_tag_positions = all_positions[indices, tag_indices]
             distances = euclidean_distances(
                 event_tag_positions[:, None, :], all_positions
             )
-            within = distances <= radius
-            within[np.arange(count), tag_indices] = False
+            within = scratch.within_mask(distances, setup.radius)
+            within[indices, tag_indices] = False
             event_index, neighbor_index = np.nonzero(within)
             if event_index.size:
                 extra_index = event_index.astype(np.intp)
@@ -587,11 +898,11 @@ class RFIDReader:
                 len(extra_positions), self.config.tag_coupling_decay_m
             )
 
-        observation = channel.observe_batch(
+        observation = self.config.channel.observe_batch(
             antenna_rows,
             event_tag_positions,
             rng,
-            device_offsets_total=mu_by_tag[tag_indices],
+            device_offsets_total=setup.mu_by_tag[tag_indices],
             extra_positions=extra_positions,
             extra_coefficients=extra_coefficients,
             extra_decays=extra_decays,
@@ -607,4 +918,350 @@ class RFIDReader:
             [success_ids[i] for i in kept],
             observation.phase_rad[kept],
             observation.rssi_dbm[kept],
+        )
+
+    # ------------------------------------------------------------------
+    # Fused two-phase path (engine="fused", the default)
+    # ------------------------------------------------------------------
+
+    def sweep_events(
+        self,
+        tags: TagCollection,
+        antenna_position: AntennaPositionFn,
+        duration_s: float,
+        tag_position: TagPositionFn | None = None,
+        rng: np.random.Generator | None = None,
+    ) -> SweepEventTable:
+        """Run the fused two-phase sweep and return its completed event table.
+
+        **Phase 1 (scheduling)** runs the sequential round loop — zone
+        membership, MAC slotting, per-event noise draws, clock advance — and
+        emits the whole sweep's reply attempts as a structure-of-arrays
+        :class:`~repro.rfid.event_table.SweepEventTable`.  All rng
+        consumption happens here, in the same order as the per-round and
+        scalar engines.  **Phase 2 (physics)** evaluates every event's
+        geometry, link budget, multipath, Eq. (1) phase, quantisation, and
+        RSSI in one fused NumPy pass
+        (:meth:`~repro.rf.channel.BackscatterChannel.observe_sweep`).
+
+        The one place physics feeds back into the rng order is the dropout
+        draw, which the scalar path skips for events in a deep multipath
+        fade.  Phase 1 therefore draws *optimistically* (assuming no deep
+        fades — overwhelmingly the common case) and phase 2 verifies; on a
+        mis-guess the generator and protocol state are rolled back to the
+        nearest per-round checkpoint and only the schedule tail replays,
+        with the exact booleans for the offending round (each retry fixes at
+        least one round, so the loop terminates).  Pathological
+        configurations that keep
+        mis-guessing fall back to an exact per-round mode.  Either way the
+        read log is bit-identical to the scalar reference — pinned by
+        ``tests/test_fused_sweep.py``.
+        """
+        if duration_s <= 0:
+            raise ValueError(f"duration must be positive, got {duration_s}")
+        rng = rng if rng is not None else np.random.default_rng()
+        setup = self._sweep_setup(tags, tag_position, antenna_position)
+        noise = self.config.channel.noise
+
+        rng_checkpoint = rng.bit_generator.state
+        protocol_checkpoint = self.protocol.scheduling_checkpoint()
+        corrections: dict[int, np.ndarray] = {}
+        stats = {"attempts": 0, "rolled_back_rounds": 0, "per_round_fallback": False}
+
+        scheduler = _SweepScheduler(self, setup, antenna_position, duration_s, rng)
+        table: SweepEventTable | None = None
+        resume_round: int | None = None
+        for attempt in range(_MAX_FUSED_ATTEMPTS):
+            if resume_round is None:
+                candidate = scheduler.run(corrections)
+            else:
+                # Everything before the corrected round consumed the
+                # generator correctly — replay only the tail from that
+                # round's checkpoint.
+                candidate = scheduler.resume(resume_round, corrections)
+            self._observe_events(setup, antenna_position, candidate)
+            stats["attempts"] = attempt + 1
+            if noise.random_dropout_probability == 0.0:
+                # Deep fades never gate a draw when dropouts are off; the
+                # schedule cannot have diverged.
+                table = candidate
+                break
+            mistaken = candidate.deep_fade & ~candidate.assumed_deep
+            if not mistaken.any():
+                table = candidate
+                break
+            # Each retry pins down one more round; if more rounds are wrong
+            # than retries remain, optimism cannot converge — go straight to
+            # the exact per-round mode instead of burning the attempts.
+            mistaken_rounds = np.unique(candidate.round_ids[mistaken]).size
+            if mistaken_rounds > _MAX_FUSED_ATTEMPTS - attempt - 1:
+                break
+            # The first mis-guessed round: its own events are fixed by its
+            # (pre-noise) slotting draw, so its exact booleans stay valid
+            # across the replay.
+            first_round = int(candidate.round_ids[int(np.argmax(mistaken))])
+            round_rows = candidate.round_ids == first_round
+            corrections[first_round] = candidate.deep_fade[round_rows].copy()
+            resume_round = first_round
+            stats["rolled_back_rounds"] += 1
+
+        if table is None:
+            # Pathological channel (deep fades on most rounds): replay once
+            # more in exact per-round mode — physics before noise, round by
+            # round — which can never mis-guess.
+            rng.bit_generator.state = rng_checkpoint
+            self.protocol.restore_scheduling_checkpoint(protocol_checkpoint)
+            stats["per_round_fallback"] = True
+            table = self._sweep_table_per_round(
+                setup, antenna_position, duration_s, rng
+            )
+
+        self.last_sweep_stats = stats
+        return table
+
+    def _event_geometry(
+        self,
+        setup: "_SweepSetup",
+        antenna_position: AntennaPositionFn,
+        times: np.ndarray,
+        tag_indices: np.ndarray,
+    ):
+        """Geometry and coupling scatterers for a batch of events.
+
+        Returns ``(antenna_rows, event_tag_positions, extra_positions,
+        extra_coefficients, extra_decays, extra_event_index)``.  Shared by
+        the fused physics pass (one call per sweep) and the exact per-round
+        fallback (one call per round); every per-event value is evaluated by
+        the same elementwise arithmetic as :meth:`_observe_round`.
+        """
+        count = int(times.size)
+        if setup.antenna_positions_at is not None:
+            antenna_rows = np.asarray(setup.antenna_positions_at(times), dtype=float)
+        else:
+            antenna_rows = np.array(
+                [
+                    (p.x, p.y, p.z)
+                    for p in (antenna_position(t) for t in times.tolist())
+                ],
+                dtype=float,
+            ).reshape(count, 3)
+
+        extra_positions = extra_index = None
+        if setup.base_positions is not None:
+            event_tag_positions = setup.base_positions[tag_indices]
+            if setup.coupling_on and setup.grid is not None:
+                event_index, flat_neighbors = setup.grid.neighbors_for_events(
+                    tag_indices
+                )
+                if event_index.size:
+                    extra_index = event_index
+                    extra_positions = setup.base_positions[flat_neighbors]
+        elif not setup.coupling_on:
+            event_ids = [setup.ids[i] for i in tag_indices]
+            paired = getattr(setup.provider, "positions_paired", None)
+            if paired is not None:
+                event_tag_positions = paired(event_ids, times)
+            else:
+                # Exotic provider without a paired query: fall back to the
+                # cross-product diagonal in bounded chunks (each cell depends
+                # only on its own pair, so chunking preserves bit-identity).
+                event_tag_positions = np.empty((count, 3))
+                for start in range(0, count, _PAIRED_FALLBACK_CHUNK):
+                    stop = min(start + _PAIRED_FALLBACK_CHUNK, count)
+                    rows = setup.provider.positions_at(
+                        event_ids[start:stop], times[start:stop]
+                    )
+                    indices = _event_indices(stop - start)
+                    event_tag_positions[start:stop] = rows[indices, indices]
+        else:
+            # Moving tags with coupling: the dense per-event radius filter,
+            # evaluated in event-count chunks sized to bound the (events x
+            # population) distance matrix.
+            population = len(setup.ids)
+            chunk = max(1, _COUPLING_CHUNK_CELLS // max(population, 1))
+            event_tag_positions = np.empty((count, 3))
+            index_chunks: list[np.ndarray] = []
+            position_chunks: list[np.ndarray] = []
+            for start in range(0, count, chunk):
+                stop = min(start + chunk, count)
+                all_positions = setup.provider.positions_at(
+                    setup.ids, times[start:stop]
+                )
+                indices = _event_indices(stop - start)
+                chunk_tags = tag_indices[start:stop]
+                chunk_positions = all_positions[indices, chunk_tags]
+                event_tag_positions[start:stop] = chunk_positions
+                distances = euclidean_distances(
+                    chunk_positions[:, None, :], all_positions
+                )
+                within = distances <= setup.radius
+                within[indices, chunk_tags] = False
+                event_index, neighbor_index = np.nonzero(within)
+                if event_index.size:
+                    index_chunks.append(event_index.astype(np.intp) + start)
+                    position_chunks.append(all_positions[event_index, neighbor_index])
+            if index_chunks:
+                extra_index = np.concatenate(index_chunks)
+                extra_positions = np.concatenate(position_chunks)
+
+        extra_coefficients = extra_decays = None
+        if extra_positions is not None:
+            extra_coefficients = np.full(
+                len(extra_positions), self.config.tag_coupling_coefficient
+            )
+            extra_decays = np.full(
+                len(extra_positions), self.config.tag_coupling_decay_m
+            )
+        return (
+            antenna_rows,
+            event_tag_positions,
+            extra_positions,
+            extra_coefficients,
+            extra_decays,
+            extra_index,
+        )
+
+    def _observe_events(
+        self,
+        setup: "_SweepSetup",
+        antenna_position: AntennaPositionFn,
+        table: SweepEventTable,
+    ) -> None:
+        """Phase 2: fused physics over the whole event table, in place."""
+        count = len(table)
+        if count == 0:
+            table.phase_rad = np.empty(0)
+            table.rssi_dbm = np.empty(0)
+            table.readable = np.empty(0, dtype=bool)
+            table.deep_fade = np.empty(0, dtype=bool)
+            return
+        (
+            antenna_rows,
+            event_tag_positions,
+            extra_positions,
+            extra_coefficients,
+            extra_decays,
+            extra_index,
+        ) = self._event_geometry(setup, antenna_position, table.times_s, table.tag_indices)
+        observation, deep_fade = self.config.channel.observe_sweep(
+            antenna_rows,
+            event_tag_positions,
+            dropped=table.dropped,
+            phase_noise=table.phase_noise_rad,
+            rssi_noise=table.rssi_noise_db,
+            device_offsets_total=setup.mu_by_tag[table.tag_indices],
+            extra_positions=extra_positions,
+            extra_coefficients=extra_coefficients,
+            extra_decays=extra_decays,
+            extra_event_index=extra_index,
+        )
+        table.phase_rad = observation.phase_rad
+        table.rssi_dbm = observation.rssi_dbm
+        table.readable = observation.readable
+        table.deep_fade = deep_fade
+
+    def _sweep_table_per_round(
+        self,
+        setup: "_SweepSetup",
+        antenna_position: AntennaPositionFn,
+        duration_s: float,
+        rng: np.random.Generator,
+    ) -> SweepEventTable:
+        """Exact per-round mode: physics before noise, round by round.
+
+        The last-resort path for channels whose deep fades keep invalidating
+        the optimistic schedule: within each round the physics runs first, so
+        the noise draws always use the exact booleans — the same draw order as
+        the scalar loop, with none of the fused pass's whole-sweep batching.
+        """
+        zone = self.config.reading_zone
+        channel = self.config.channel
+        noise = channel.noise
+        protocol = self.protocol
+        ids = setup.ids
+        clock_buffer = np.empty(1)
+
+        parts: list[tuple] = []
+        round_index = 0
+        clock = 0.0
+        while clock < duration_s:
+            antenna_row, round_positions = self._round_start_geometry(
+                setup, antenna_position, clock, clock_buffer
+            )
+            in_zone_mask = zone.contains_many(antenna_row, round_positions)
+            in_zone = np.nonzero(in_zone_mask)[0]
+
+            success_ids, success_ends, round_time = protocol.run_round_schedule(
+                in_zone, clock, rng
+            )
+            if len(success_ids):
+                count = int(np.searchsorted(success_ends, duration_s, side="right"))
+                if count:
+                    times = success_ends[:count]
+                    tag_indices = np.asarray(success_ids[:count], dtype=np.intp)
+                    (
+                        antenna_rows,
+                        event_tag_positions,
+                        extra_positions,
+                        extra_coefficients,
+                        extra_decays,
+                        extra_index,
+                    ) = self._event_geometry(setup, antenna_position, times, tag_indices)
+                    physics = channel.sweep_physics(
+                        antenna_rows,
+                        event_tag_positions,
+                        device_offsets_total=setup.mu_by_tag[tag_indices],
+                        extra_positions=extra_positions,
+                        extra_coefficients=extra_coefficients,
+                        extra_decays=extra_decays,
+                        extra_event_index=extra_index,
+                    )
+                    dropped, phase_noise, rssi_noise = (
+                        noise.draw_event_noise_scheduled(physics.deep_fade, rng)
+                    )
+                    observation = channel.observe_scheduled(
+                        physics, dropped, phase_noise, rssi_noise
+                    )
+                    parts.append(
+                        (
+                            times,
+                            tag_indices,
+                            np.full(count, round_index, dtype=np.intp),
+                            dropped,
+                            phase_noise,
+                            rssi_noise,
+                            physics.deep_fade,
+                            observation.phase_rad,
+                            observation.rssi_dbm,
+                            observation.readable,
+                        )
+                    )
+
+            if round_time <= 0:
+                raise RuntimeError("inventory round produced non-positive duration")
+            clock += round_time
+            round_index += 1
+
+        def _column(position: int, dtype=None, default_dtype=float) -> np.ndarray:
+            if parts:
+                return np.concatenate([part[position] for part in parts])
+            return np.empty(0, dtype=dtype if dtype is not None else default_dtype)
+
+        deep = _column(6, dtype=bool)
+        return SweepEventTable(
+            tag_ids=list(ids),
+            channel_index=channel.channel_index,
+            antenna_port=self.config.antenna_port,
+            round_count=round_index,
+            times_s=_column(0),
+            tag_indices=_column(1, dtype=np.intp),
+            round_ids=_column(2, dtype=np.intp),
+            dropped=_column(3, dtype=bool),
+            phase_noise_rad=_column(4),
+            rssi_noise_db=_column(5),
+            assumed_deep=deep,
+            deep_fade=deep,
+            phase_rad=_column(7),
+            rssi_dbm=_column(8),
+            readable=_column(9, dtype=bool),
         )

@@ -61,7 +61,9 @@ def profiles_from_read_log(
     return profile_set
 
 
-def collect_sweep(scene: Scene, batched: bool = True) -> SweepResult:
+def collect_sweep(
+    scene: Scene, batched: bool = True, engine: str | None = None
+) -> SweepResult:
     """Simulate ``scene`` and return profiles plus the raw read log.
 
     Tags that were never successfully read during the sweep have no entry in
@@ -69,9 +71,12 @@ def collect_sweep(scene: Scene, batched: bool = True) -> SweepResult:
     (e.g. the ordering accuracy metric) should compare against
     ``scene.tags.ids()``.
 
-    ``batched=False`` runs the reader's scalar reference loop instead of the
-    round-batched kernel; the results are bit-identical (the flag exists for
-    benchmarking and equivalence testing).
+    ``engine`` selects the sweep implementation (``"fused"`` two-phase
+    engine by default, ``"round"`` for the per-round batched kernel,
+    ``"scalar"`` for the read-at-a-time reference loop); ``batched=False`` is
+    the back-compat spelling of ``engine="scalar"``.  All engines produce
+    bit-identical results — the knobs exist for benchmarking and equivalence
+    testing.
     """
     reader = RFIDReader(config=scene.reader_config, protocol=scene.protocol)
     read_log = reader.sweep(
@@ -81,6 +86,7 @@ def collect_sweep(scene: Scene, batched: bool = True) -> SweepResult:
         tag_position=scene.scenario.tag_position,
         rng=scene.rng(),
         batched=batched,
+        engine=engine,
     )
     profiles = profiles_from_read_log(
         read_log, channel_index=scene.reader_config.channel.channel_index

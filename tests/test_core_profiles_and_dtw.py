@@ -129,6 +129,98 @@ class TestSegmentation:
             CoarseRepresentation("t", np.arange(3.0), 4)
 
 
+def segment_profile_per_sample(profile, window_size, jump_threshold_rad=0.75 * TWO_PI):
+    """The historical sample-by-sample segmentation loop, kept as the oracle
+    for the vectorized (boundary-walk + reduceat) implementation."""
+    from repro.core.segmentation import Segment, _phase_jump_indices
+
+    if profile.is_empty:
+        return []
+    phases = profile.phases_rad
+    times = profile.timestamps_s
+    jump_set = set(int(i) for i in _phase_jump_indices(phases, jump_threshold_rad))
+    segments = []
+    start = 0
+    for index in range(1, len(profile) + 1):
+        window_full = (index - start) >= window_size
+        if not (window_full or index in jump_set or index == len(profile)):
+            continue
+        chunk = phases[start:index]
+        segments.append(
+            Segment(
+                start_index=start,
+                end_index=index,
+                start_time_s=float(times[start]),
+                end_time_s=float(times[index - 1]),
+                min_phase_rad=float(np.min(chunk)),
+                max_phase_rad=float(np.max(chunk)),
+            )
+        )
+        start = index
+        if index == len(profile):
+            break
+    return segments
+
+
+class TestVectorizedSegmentation:
+    """The vectorized segment_profile equals the per-sample loop exactly."""
+
+    def test_randomised_equivalence(self):
+        rng = np.random.default_rng(7)
+        for _ in range(200):
+            count = int(rng.integers(1, 60))
+            window = int(rng.integers(1, 9))
+            times = np.sort(rng.uniform(0, 10, count))
+            phases = np.mod(rng.uniform(-10, 10, count), TWO_PI)
+            profile = make_profile(times, phases)
+            assert segment_profile(profile, window) == segment_profile_per_sample(
+                profile, window
+            )
+
+    def test_arrays_form_matches_object_form(self):
+        from repro.core.segmentation import segment_profile_arrays
+
+        rng = np.random.default_rng(8)
+        times = np.sort(rng.uniform(0, 10, 45))
+        phases = np.mod(rng.uniform(-10, 10, 45), TWO_PI)
+        profile = make_profile(times, phases)
+        segments = segment_profile(profile, 5)
+        arrays = segment_profile_arrays(profile, 5)
+        assert arrays.to_segments() == segments
+        assert len(arrays) == len(segments)
+        assert arrays[0] == segments[0]
+        assert list(arrays) == segments
+        mins, maxs = arrays.bounds()
+        assert mins.tolist() == [s.min_phase_rad for s in segments]
+        assert maxs.tolist() == [s.max_phase_rad for s in segments]
+        assert arrays.durations().tolist() == [
+            max(s.duration_s, 1e-6) for s in segments
+        ]
+
+    def test_empty_profile(self):
+        from repro.core.segmentation import segment_profile_arrays
+
+        profile = PhaseProfile("t", np.empty(0), np.empty(0))
+        assert segment_profile(profile, 5) == []
+        assert len(segment_profile_arrays(profile, 5)) == 0
+
+    def test_slice_views_match_masked_slicing(self):
+        rng = np.random.default_rng(9)
+        times = np.sort(rng.uniform(0, 10, 30))
+        phases = np.mod(rng.uniform(-10, 10, 30), TWO_PI)
+        rssi = rng.uniform(-60, -40, 30)
+        profile = PhaseProfile("t", times, phases, rssi_dbm=rssi)
+        window = profile.slice_index(4, 17)
+        assert window.timestamps_s.tolist() == times[4:17].tolist()
+        assert window.phases_rad.tolist() == phases[4:17].tolist()
+        assert window.rssi_dbm.tolist() == rssi[4:17].tolist()
+        by_time = profile.slice_time(times[4], times[16])
+        assert by_time.timestamps_s.tolist() == times[4:17].tolist()
+        # Out-of-range windows clamp exactly like the mask filter did.
+        assert len(profile.slice_time(11.0, 12.0)) == 0
+        assert len(profile.slice_index(0, len(profile))) == 30
+
+
 class TestDTW:
     def test_identical_sequences_zero_cost(self):
         seq = np.array([1.0, 2.0, 3.0, 2.0, 1.0])
