@@ -18,6 +18,15 @@
 #                     latency and write BENCH_streaming.json
 #   make check-speedups
 #                     assert floors on the speedups recorded in BENCH_*.json
+#   make bench-accuracy
+#                     score the five schemes on the three workloads and write
+#                     BENCH_accuracy.json (+ history rows)
+#   make check-accuracy
+#                     assert the pinned accuracy floors and the paper's scheme
+#                     ordering on BENCH_accuracy.json
+#   make bench-report print the recorded trends in BENCH_HISTORY.jsonl and
+#                     the accuracy leaderboard, and regenerate the status
+#                     tables in docs/figures.md
 #   make examples     run every example under examples/ (CI runs this so
 #                     docs-adjacent code cannot rot)
 
@@ -25,7 +34,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 .PHONY: test unit bench-smoke bench-dtw bench-experiments bench-sweep \
-	bench-streaming check-speedups examples
+	bench-streaming check-speedups bench-accuracy check-accuracy \
+	bench-report examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -53,6 +63,15 @@ bench-streaming:
 
 check-speedups:
 	$(PYTHON) benchmarks/check_speedups.py
+
+bench-accuracy:
+	$(PYTHON) benchmarks/bench_accuracy.py
+
+check-accuracy:
+	$(PYTHON) benchmarks/check_accuracy.py
+
+bench-report:
+	$(PYTHON) -m repro.bench.report --write-docs
 
 # Glob, not a hand-kept list: a new example is automatically covered, so the
 # runnable documentation cannot silently rot.  Examples are written at a

@@ -29,6 +29,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.bench.store import record_run
 from repro.core.dtw import (
     MAX_BATCH_CELLS,
     _accumulate_python,
@@ -108,6 +109,11 @@ def main() -> None:
     parser.add_argument("--tags", type=int, default=120, help="fleet size (>= 100 for the acceptance figure)")
     parser.add_argument("--out", type=Path, default=Path(__file__).resolve().parent.parent / "BENCH_dtw.json")
     parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument(
+        "--history", type=Path, default=Path("BENCH_HISTORY.jsonl"),
+        help="append-only ledger for this run's rows (smoke runs pass a scratch path)",
+    )
+    parser.add_argument("--no-history", action="store_true")
     args = parser.parse_args()
 
     print(f"generating {args.tags} simulated tag profiles ...")
@@ -200,6 +206,20 @@ def main() -> None:
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"\nwrote {args.out}")
+    if not args.no_history:
+        rows = record_run(
+            source="bench_dtw",
+            metrics={
+                "timings_s": report["timings_s"],
+                "speedup_vs_python_loop": report["speedup_vs_python_loop"],
+                "localize_overhead_vs_kernel": report["localize_overhead_vs_kernel"],
+            },
+            scale={"tags": args.tags, "window_size": 5},
+            history=args.history,
+            timestamp=report["generated_at"],
+            platform=report["platform"],
+        )
+        print(f"appended {len(rows)} history rows to {args.history}")
     print(
         f"batched DTW over {args.tags} tags: "
         f"{report['speedup_vs_python_loop']['batched']:.1f}x faster than the "

@@ -44,6 +44,7 @@ from datetime import datetime, timezone
 from functools import partial
 from pathlib import Path
 
+from repro.bench.store import record_run
 from repro.core.localizer import BatchLocalizer, STPPConfig
 from repro.evaluation.experiments import _staircase_experiment
 from repro.evaluation.metrics import evaluate_ordering
@@ -163,6 +164,11 @@ def main() -> None:
         help="repetitions per spacing (default 8; total sweeps = 4x this)",
     )
     parser.add_argument("--out", type=Path, default=Path("BENCH_experiments.json"))
+    parser.add_argument(
+        "--history", type=Path, default=Path("BENCH_HISTORY.jsonl"),
+        help="append-only ledger for this run's rows (smoke runs pass a scratch path)",
+    )
+    parser.add_argument("--no-history", action="store_true")
     args = parser.parse_args()
 
     cpu_count = os.cpu_count() or 1
@@ -255,6 +261,27 @@ def main() -> None:
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
+
+    if not args.no_history:
+        rows = record_run(
+            source="bench_experiments",
+            metrics={
+                "timings_s": payload["timings_s"],
+                "stage_breakdown_s": payload["stage_breakdown_s"],
+                "speedup_simulate_vs_pr4": payload["speedup_simulate_vs_pr4"],
+                "speedup_sharded_vs_serial": payload["speedup_sharded_vs_serial"],
+                "results_bit_identical": payload["results_bit_identical"],
+            },
+            scale={
+                "spacings": len(SPACINGS_M),
+                "repetitions_per_spacing": args.repetitions,
+                "cpu_count": cpu_count,
+            },
+            history=args.history,
+            timestamp=payload["generated_at"],
+            platform=payload["platform"],
+        )
+        print(f"appended {len(rows)} history rows to {args.history}")
 
 
 if __name__ == "__main__":

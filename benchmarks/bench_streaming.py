@@ -38,6 +38,7 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.bench.store import record_run
 from repro.core import BatchLocalizer, STPPConfig
 from repro.rf.geometry import Point3D
 from repro.rfid.tag import make_tags
@@ -151,6 +152,11 @@ def main() -> None:
         help="portal conveyor batch size knob (default 4, 3 lanes)",
     )
     parser.add_argument("--out", type=Path, default=Path("BENCH_streaming.json"))
+    parser.add_argument(
+        "--history", type=Path, default=Path("BENCH_HISTORY.jsonl"),
+        help="append-only ledger for this run's rows (smoke runs pass a scratch path)",
+    )
+    parser.add_argument("--no-history", action="store_true")
     args = parser.parse_args()
 
     print(f"ingest scene: {args.tags}-tag shelf | portal: 3-lane conveyor")
@@ -176,6 +182,26 @@ def main() -> None:
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
+
+    if not args.no_history:
+        rows = record_run(
+            source="bench_streaming",
+            metrics={
+                "ingest_reads_per_s": payload["ingest_reads_per_s"],
+                "portal": portal,
+                "results_bit_identical": identical,
+            },
+            scale={
+                "tags": args.tags,
+                "cartons_per_lane": args.cartons_per_lane,
+                "ingest_repeats": args.ingest_repeats,
+            },
+            history=args.history,
+            timestamp=payload["generated_at"],
+            platform=payload["platform"],
+        )
+        print(f"appended {len(rows)} history rows to {args.history}")
+
     if not identical:
         raise SystemExit("streaming final diverged from the batch pipeline")
 

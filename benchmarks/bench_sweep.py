@@ -42,6 +42,7 @@ import time
 from datetime import datetime, timezone
 from pathlib import Path
 
+from repro.bench.store import record_run
 from repro.rf.geometry import Point3D
 from repro.rfid.tag import make_tags
 from repro.simulation.collector import collect_sweep
@@ -122,6 +123,11 @@ def main() -> None:
         help="cartons in the moving conveyor scene (default 24)",
     )
     parser.add_argument("--out", type=Path, default=Path("BENCH_sweep.json"))
+    parser.add_argument(
+        "--history", type=Path, default=Path("BENCH_HISTORY.jsonl"),
+        help="append-only ledger for this run's rows (smoke runs pass a scratch path)",
+    )
+    parser.add_argument("--no-history", action="store_true")
     args = parser.parse_args()
 
     # Warm all code paths (imports, numpy kernels) outside the timed region.
@@ -154,6 +160,21 @@ def main() -> None:
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")
     print(f"wrote {args.out}")
+
+    if not args.no_history:
+        rows = record_run(
+            source="bench_sweep",
+            metrics={
+                "scenes": payload["scenes"],
+                "speedup_batched_vs_scalar": payload["speedup_batched_vs_scalar"],
+                "speedup_fused_vs_round": payload["speedup_fused_vs_round"],
+            },
+            scale={"static_tags": args.tags, "moving_cartons": args.moving_tags},
+            history=args.history,
+            timestamp=payload["generated_at"],
+            platform=payload["platform"],
+        )
+        print(f"appended {len(rows)} history rows to {args.history}")
 
 
 if __name__ == "__main__":

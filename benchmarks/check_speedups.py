@@ -33,6 +33,9 @@ Missing files are skipped with a note (each benchmark is recorded by its own
 ``make bench-*`` target), so the check degrades gracefully on fresh clones.
 Fields introduced by later PRs (e.g. the fused-sweep speedup) are only
 enforced when present, so the checker still validates pre-upgrade records.
+Every present file is first validated against its snapshot schema
+(``repro.bench.schema``, shared with ``check_accuracy.py``): a floor check
+against a truncated or corrupted record proves nothing.
 """
 
 from __future__ import annotations
@@ -42,14 +45,25 @@ import json
 import sys
 from pathlib import Path
 
+_REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(_REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
+
+from repro.bench.schema import validate_snapshot
+
 FAILURES: list[str] = []
 
 
-def _load(path: Path) -> dict | None:
+def _load(path: Path, kind: str) -> dict | None:
+    """Read and schema-validate one snapshot; None = skip or already failed."""
     if not path.exists():
         print(f"  skip: {path} not found")
         return None
-    return json.loads(path.read_text())
+    payload = json.loads(path.read_text())
+    problems = validate_snapshot(kind, payload)
+    for problem in problems:
+        _require(False, f"schema: {problem}")
+    return None if problems else payload
 
 
 def _require(condition: bool, message: str) -> None:
@@ -62,7 +76,7 @@ def _require(condition: bool, message: str) -> None:
 
 def check_sweep(path: Path, floor: float, fused_floor: float) -> None:
     print(f"sweep kernel ({path}):")
-    payload = _load(path)
+    payload = _load(path, "sweep")
     if payload is None:
         return
     static = payload["scenes"]["static"]
@@ -88,7 +102,7 @@ def check_sweep(path: Path, floor: float, fused_floor: float) -> None:
 
 def check_dtw(path: Path, floor: float, overhead_ceiling: float) -> None:
     print(f"DTW engine ({path}):")
-    payload = _load(path)
+    payload = _load(path, "dtw")
     if payload is None:
         return
     speedup = float(payload["speedup_vs_python_loop"]["batched"])
@@ -108,7 +122,7 @@ def check_dtw(path: Path, floor: float, overhead_ceiling: float) -> None:
 
 def check_experiments(path: Path, floor: float, simulate_floor: float) -> None:
     print(f"experiment engine ({path}):")
-    payload = _load(path)
+    payload = _load(path, "experiments")
     if payload is None:
         return
     _require(
@@ -145,7 +159,7 @@ def check_experiments(path: Path, floor: float, simulate_floor: float) -> None:
 
 def check_streaming(path: Path, floor: float) -> None:
     print(f"streaming service ({path}):")
-    payload = _load(path)
+    payload = _load(path, "streaming")
     if payload is None:
         return
     reads_per_s = float(payload["ingest_reads_per_s"])

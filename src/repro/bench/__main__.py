@@ -1,0 +1,5 @@
+"""``python -m repro.bench`` → the warehouse report (alias of repro.bench.report)."""
+
+from .report import main
+
+raise SystemExit(main())

@@ -1,0 +1,109 @@
+"""Registry of the paper artifacts this repository reproduces.
+
+``docs/figures.md``'s status tables are **generated** from this registry (via
+``python -m repro.bench.report --write-docs``) instead of hand-edited — the
+doc used to be a hand-kept table, which is exactly the kind of evidence that
+rots.  A tier-1 test re-renders the block and diffs it against the committed
+doc, so adding a benchmark without registering it (or editing the doc by
+hand) fails the suite.
+
+Each entry names the benchmark file that regenerates the artifact, what it
+reproduces, and — where the artifact is accuracy-bearing — the key into the
+recorded ``BENCH_accuracy.json`` leaderboard used to annotate its status
+with the measured number.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Artifact:
+    """One reproduced figure/table/claim and the benchmark that regenerates it."""
+
+    section: str
+    """Grouping: ``figure`` | ``table`` | ``case`` | ``extension``."""
+
+    benchmark: str
+    """The regenerating file under ``benchmarks/`` (or generator path)."""
+
+    artifact: str
+    """The paper artifact name (e.g. ``Figure 17``)."""
+
+    description: str
+    """What the benchmark reproduces."""
+
+    accuracy_key: str | None = None
+    """Key into ``BENCH_accuracy.json`` (``fig17``/scenario name) when the
+    recorded leaderboard carries this artifact's measured accuracy."""
+
+    status: str = "reproduced"
+
+
+ARTIFACTS: tuple[Artifact, ...] = (
+    Artifact("figure", "test_fig02_rssi_limitation.py", "Figure 2",
+             "RSSI fluctuates under multipath; peak-RSSI ordering misorders adjacent tags (the motivation for using phase)"),
+    Artifact("figure", "test_fig03_reference_profiles_x.py", "Figure 3",
+             "Reference phase profiles of tags at different X: V-zone bottom time tracks tag position along the sweep"),
+    Artifact("figure", "test_fig04_reference_profiles_y.py", "Figure 4",
+             "Reference profiles of tags at different Y: closer tags have deeper/steeper V-zones"),
+    Artifact("figure", "test_fig05_measured_profiles_x.py", "Figure 5",
+             "Measured (noisy, fragmented) profiles still expose the X-ordering of bottom times"),
+    Artifact("figure", "test_fig06_measured_profiles_y.py", "Figure 6",
+             "Measured profiles preserve the Y-ordering signal"),
+    Artifact("figure", "test_fig07_dtw_vzone.py", "Figure 7",
+             "DTW warps the reference onto a measured profile to locate the V-zone (before/after-warping alignment)"),
+    Artifact("figure", "test_fig08_segmentation.py", "Figure 8",
+             "Coarse w-sample segmentation with splits at 0/2π phase jumps"),
+    Artifact("figure", "test_fig09_quadratic_fitting.py", "Figure 9",
+             "Quadratic fitting separates tags 15 cm and even 2 cm apart by bottom time"),
+    Artifact("figure", "test_fig12_window_size.py", "Figure 12",
+             "Accuracy/latency trade-off over segment window size `w`; `w = 5` is the sweet spot"),
+    Artifact("figure", "test_fig13_spacing_tag_moving.py", "Figure 13",
+             "Ordering accuracy vs tag spacing, tag-moving (conveyor) setup"),
+    Artifact("figure", "test_fig14_spacing_antenna_moving.py", "Figure 14",
+             "Ordering accuracy vs tag spacing, antenna-moving (handheld) setup"),
+    Artifact("figure", "test_fig17_scheme_comparison.py", "Figure 17",
+             "STPP vs OTrack / LANDMARC / BackPos / G-RSSI on the same sweeps",
+             accuracy_key="fig17"),
+    Artifact("figure", "test_fig18_spacing_boxplot.py", "Figure 18",
+             "Accuracy distribution (box plot) across tag spacings"),
+    Artifact("figure", "test_fig19_population_boxplot.py", "Figure 19",
+             "Accuracy distribution across tag population sizes"),
+    Artifact("figure", "test_fig21_library_layout.py", "Figure 21",
+             "Full shelf sweep; ordering errors concentrate on thin books"),
+    Artifact("figure", "test_fig23_latency_cdf.py", "Figure 23",
+             "Ordering latency CDF of STPP vs OTrack (STPP ~1.47 s mean in the paper)"),
+    Artifact("table", "test_table1_population.py", "Table 1",
+             "Ordering accuracy vs tag population"),
+    Artifact("table", "test_table2_misplaced_books.py", "Table 2",
+             "Success rate of flagging 1/2/3 misplaced books (§5.1)"),
+    Artifact("table", "test_table3_baggage.py", "Table 3",
+             "Baggage ordering accuracy per scheme and traffic period (§5.2)"),
+    Artifact("case", "test_case_library_headline.py", "§5.1 headline",
+             "Mean per-level ordering accuracy over repeated shelf sweeps"),
+    Artifact("case", "test_ablation_segmented_dtw.py", "§3.1.2",
+             "Segmented DTW vs full-sample DTW vs longest-run heuristic (accuracy + runtime, ~w² speed-up claim)"),
+    Artifact("case", "test_ablation_quadratic_fitting.py", "§3.1.2",
+             "Quadratic fitting vs raw-minimum bottom picking under dropouts"),
+    Artifact("case", "test_ablation_pivot_ordering.py", "§3.2.2",
+             "Pivot-based Y comparison (M−1 comparisons) vs all-pairs"),
+    Artifact("extension", "experiments.warehouse_conveyor_accuracy (tests: tests/test_workload_warehouse.py)",
+             "Warehouse sortation conveyor",
+             "Multi-lane batches of tagged cartons on a **variable-speed** belt past a fixed antenna, scored by all five schemes through the sharded sweep engine",
+             accuracy_key="warehouse", status="new in PR 2"),
+    Artifact("extension", "workloads.conveyor_portal (tests: tests/test_streaming.py; example: examples/streaming_portal.py)",
+             "Streaming conveyor portal",
+             "Reads flow into a `LocalizationSession` round by round; provisional orderings with confidence are emitted while cartons are still in front of the antenna, converging to the exact batch result",
+             status="new in PR 4"),
+    Artifact("extension", "benchmarks/bench_accuracy.py (gate: benchmarks/check_accuracy.py)",
+             "Accuracy leaderboard",
+             "Five schemes scored on the library/airport/warehouse workloads plus the Figure-17 deployment at a fixed seed; recorded to `BENCH_accuracy.json` + history and floor-gated in CI",
+             status="new in PR 6"),
+)
+
+
+def artifacts_in(section: str) -> list[Artifact]:
+    """Registry entries of one section, in registration order."""
+    return [artifact for artifact in ARTIFACTS if artifact.section == section]

@@ -1,0 +1,114 @@
+"""Golden accuracy pins for the recorded leaderboard (tier-1 regression gate).
+
+The leaderboard is a deterministic function of the code at a fixed seed, so
+its values are pinnable: a scheme drifting out of its band means the scheme
+adapter — or the shared pipeline under all five — changed behaviour.  The
+bands are deliberately wider than zero (a legitimate algorithm improvement
+may move accuracy a little) but far narrower than the gap an actual
+regression opens (e.g. STPP degrading toward BackPos-level).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.leaderboard import (
+    DEFAULT_SEED,
+    SCENARIOS,
+    SCHEMES,
+    compute_leaderboard,
+    leaderboard_history_metrics,
+    scenario_plans,
+)
+
+# Recorded at repetitions=1, seed 2015 (the CI smoke scale) on the reference
+# pipeline.  Scenario means use a wider band than Figure 17: single-sweep
+# scenario scores move in 1/8-to-1/10 quanta per swapped pair.
+GOLDEN_MEAN_COMBINED = {
+    "STPP": 0.700,
+    "BackPos": 0.272,
+    "OTrack": 0.389,
+    "Landmarc": 0.533,
+    "G-RSSI": 0.544,
+}
+MEAN_TOLERANCE = 0.15
+
+GOLDEN_FIG17_COMBINED = {
+    "STPP": 0.770,
+    "BackPos": 0.555,
+    "Landmarc": 0.520,
+    "OTrack": 0.425,
+    "G-RSSI": 0.330,
+}
+FIG17_TOLERANCE = 0.10
+
+
+@pytest.fixture(scope="module")
+def leaderboard():
+    return compute_leaderboard(repetitions=1, seed=DEFAULT_SEED)
+
+
+class TestGoldenPins:
+    @pytest.mark.parametrize("scheme", sorted(GOLDEN_MEAN_COMBINED))
+    def test_mean_combined_within_pinned_band(self, leaderboard, scheme):
+        assert leaderboard["mean_combined"][scheme] == pytest.approx(
+            GOLDEN_MEAN_COMBINED[scheme], abs=MEAN_TOLERANCE
+        )
+
+    @pytest.mark.parametrize("scheme", sorted(GOLDEN_FIG17_COMBINED))
+    def test_fig17_combined_within_pinned_band(self, leaderboard, scheme):
+        assert leaderboard["fig17"][scheme] == pytest.approx(
+            GOLDEN_FIG17_COMBINED[scheme], abs=FIG17_TOLERANCE
+        )
+
+    def test_stpp_tops_every_baseline_on_fig17(self, leaderboard):
+        fig17 = leaderboard["fig17"]
+        for scheme in SCHEMES:
+            if scheme != "STPP":
+                assert fig17["STPP"] > fig17[scheme]
+
+    def test_stpp_scenario_floors(self, leaderboard):
+        stpp = {
+            scenario: leaderboard["scenarios"][scenario]["STPP"]["combined"]
+            for scenario in SCENARIOS
+        }
+        assert stpp["library"] >= 0.85
+        assert stpp["airport"] >= 0.35
+        assert stpp["warehouse"] >= 0.40
+
+
+class TestPayloadShape:
+    def test_all_schemes_scored_on_all_scenarios(self, leaderboard):
+        assert tuple(leaderboard["schemes"]) == SCHEMES
+        for scenario in SCENARIOS:
+            per_scheme = leaderboard["scenarios"][scenario]
+            assert set(per_scheme) == set(SCHEMES)
+            for axes in per_scheme.values():
+                assert set(axes) == {"x", "y", "combined"}
+                assert all(0.0 <= value <= 1.0 for value in axes.values())
+
+    def test_scale_records_the_comparability_knobs(self, leaderboard):
+        assert leaderboard["scale"]["repetitions"] == 1
+        assert leaderboard["scale"]["fig17_repetitions"] == 1
+        assert leaderboard["seed"] == DEFAULT_SEED
+
+    def test_history_metrics_cover_scenario_mean_and_fig17(self, leaderboard):
+        metrics = leaderboard_history_metrics(leaderboard)
+        # 3 scenarios x 5 schemes + 5 means + 5 fig17 values
+        assert len(metrics) == 25
+        assert metrics["mean.STPP.combined"] == leaderboard["mean_combined"]["STPP"]
+        assert metrics["fig17.STPP.combined"] == leaderboard["fig17"]["STPP"]
+        assert (
+            metrics["library.STPP.combined"]
+            == leaderboard["scenarios"]["library"]["STPP"]["combined"]
+        )
+
+
+class TestDeterminism:
+    def test_plans_resolve_identical_seed_lists(self):
+        first = [plan.resolved_seeds() for plan in scenario_plans(repetitions=2)]
+        second = [plan.resolved_seeds() for plan in scenario_plans(repetitions=2)]
+        assert first == second
+        # Scenarios must not share seeds, or their sweeps would be correlated.
+        flat = [seed for seeds in first for seed in seeds]
+        assert len(flat) == len(set(flat))
