@@ -24,6 +24,12 @@
 #   make check-accuracy
 #                     assert the pinned accuracy floors and the paper's scheme
 #                     ordering on BENCH_accuracy.json
+#   make check-scenarios
+#                     strict-parse + round-trip every committed scenario spec
+#                     (src/repro/scenarios/specs/*.json)
+#   make scenario-smoke
+#                     run the whole scenario matrix end-to-end (all five
+#                     schemes, one sweep per scenario) and print accuracies
 #   make bench-report print the recorded trends in BENCH_HISTORY.jsonl and
 #                     the accuracy leaderboard, and regenerate the status
 #                     tables in docs/figures.md
@@ -35,7 +41,7 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 .PHONY: test unit bench-smoke bench-dtw bench-experiments bench-sweep \
 	bench-streaming check-speedups bench-accuracy check-accuracy \
-	bench-report examples
+	check-scenarios scenario-smoke bench-report examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -69,6 +75,12 @@ bench-accuracy:
 
 check-accuracy:
 	$(PYTHON) benchmarks/check_accuracy.py
+
+check-scenarios:
+	$(PYTHON) -m repro.scenarios --validate
+
+scenario-smoke:
+	$(PYTHON) -m repro.scenarios --smoke --repetitions 1
 
 bench-report:
 	$(PYTHON) -m repro.bench.report --write-docs

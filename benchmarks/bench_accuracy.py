@@ -1,8 +1,9 @@
 """Accuracy recorder: the five-scheme leaderboard snapshot + history rows.
 
 Runs the paper's five ordering schemes (STPP, BackPos, OTrack, Landmarc,
-G-RSSI) over the repository's three end-to-end workloads (library shelf,
-airport baggage belt, warehouse conveyor) and the Figure-17 deployment at a
+G-RSSI) over every scenario registered in the declarative scenario matrix
+(``repro.scenarios`` — the legacy library/airport/warehouse trio plus the
+committed ``specs/*.json`` deployments) and the Figure-17 deployment at a
 fixed seed/scale, and records:
 
 * ``BENCH_accuracy.json`` — the accuracy-per-scheme-per-scenario leaderboard
@@ -39,6 +40,7 @@ from repro.bench.leaderboard import (
     DEFAULT_SEED,
     compute_leaderboard,
     leaderboard_history_metrics,
+    scenario_names,
 )
 from repro.bench.report import format_leaderboard
 from repro.bench.store import record_run, utc_timestamp
@@ -68,8 +70,8 @@ def main() -> None:
     args = parser.parse_args()
 
     print(
-        f"scoring 5 schemes x 3 workloads ({args.repetitions} sweep(s) each) "
-        f"+ Figure-17 deployment, seed {args.seed}"
+        f"scoring 5 schemes x {len(scenario_names())} scenarios "
+        f"({args.repetitions} sweep(s) each) + Figure-17 deployment, seed {args.seed}"
     )
     body = compute_leaderboard(
         repetitions=args.repetitions,

@@ -4,41 +4,36 @@
 accuracy* — a refactor could quietly degrade STPP toward BackPos-level and
 every speed floor would still pass.  This module is the accuracy half of the
 warehouse: it runs the paper's five schemes (STPP, BackPos, OTrack, Landmarc,
-G-RSSI) over the repository's three end-to-end workloads (library shelf,
-airport baggage belt, warehouse conveyor) at a fixed seed and scale, and
-reduces the outcome to one leaderboard payload that
+G-RSSI) over **every scenario registered in the declarative scenario matrix**
+(:mod:`repro.scenarios` — the legacy library/airport/warehouse trio plus the
+data-only scenarios committed under ``repro/scenarios/specs/``) at a fixed
+seed and scale, and reduces the outcome to one leaderboard payload that
 ``benchmarks/bench_accuracy.py`` snapshots (``BENCH_accuracy.json``) and
 ``benchmarks/check_accuracy.py`` gates in CI.
 
-Every scenario is a module-level picklable scene factory (the sweep-engine
-contract), each deployment carries a sparse Landmarc reference grid so all
-five schemes are scoreable, and all seeds derive from the per-plan seed
-lists below — the leaderboard is a deterministic function of the code, which
-is exactly what makes it gateable.
+Scenarios come from the registry as validated :class:`ScenarioSpec` data; the
+expansion into picklable sweep plans (the sweep-engine contract) happens in
+:meth:`repro.scenarios.registry.ScenarioRegistry.sweep_plans`, so adding a
+deployment to this leaderboard is a JSON file, not code.  All seeds derive
+from the per-plan seed lists (``seed + 31 * scenario_index + rep``) — the
+leaderboard is a deterministic function of the code and the committed specs,
+which is exactly what makes it gateable.
 """
 
 from __future__ import annotations
 
-from functools import partial
 from typing import Any, Mapping
 
 import numpy as np
 
-from ..evaluation.runner import standard_experiment, standard_scheme_suite
-from ..evaluation.sweep import (
-    SweepService,
-    run_plans,
-    scheme_sweep_plan,
-    score_schemes,
-)
+from ..evaluation.runner import standard_experiment
+from ..evaluation.sweep import SweepService, run_plans
 from ..rf.geometry import Point3D
+from ..scenarios import default_registry
+from ..scenarios.registry import DEFAULT_SEED
 from ..workloads.airport import PAPER_PERIODS, baggage_batch
 from ..workloads.layouts import reference_tag_grid
 from ..workloads.library import generate_bookshelf
-from ..workloads.warehouse import ConveyorConfig, conveyor_experiment
-
-DEFAULT_SEED = 2015
-"""Base of every scenario's per-repetition seed list."""
 
 DEFAULT_REPETITIONS = 2
 """Sweeps per scenario in the recorded leaderboard (CI smoke uses 1)."""
@@ -46,19 +41,22 @@ DEFAULT_REPETITIONS = 2
 SCHEMES: tuple[str, ...] = ("STPP", "BackPos", "OTrack", "Landmarc", "G-RSSI")
 """The five compared schemes, paper-Figure-17 order (best first)."""
 
-SCENARIOS: tuple[str, ...] = ("library", "airport", "warehouse")
-"""The three end-to-end workloads every scheme is scored on."""
-
 AXES: tuple[str, ...] = ("x", "y", "combined")
 
 
-def _sparse_reference_grid(positions: list[Point3D]) -> list[Point3D]:
-    """A handful of Landmarc anchors around the target footprint.
+def scenario_names() -> tuple[str, ...]:
+    """Every registered scenario, in seed-index order (legacy trio first)."""
+    return default_registry().names()
 
-    Sparse on purpose (cf. the Figure 18 deployment): a dense grid of
-    reference tags dominates the reading zone and starves every scheme of
-    reads on the targets.
-    """
+
+# Back-compat alias: resolved at import so existing ``SCENARIOS`` consumers
+# (bench report, tests) keep working; equals scenario_names() because the
+# built-in registry is loaded once and never mutated by the leaderboard.
+SCENARIOS: tuple[str, ...] = scenario_names()
+
+
+def _sparse_reference_grid(positions: list[Point3D]) -> list[Point3D]:
+    """The legacy sparse Landmarc grid (see ``scenarios.builders``)."""
     xs = [p.x for p in positions]
     ys = [p.y for p in positions]
     span_x = max(xs) - min(xs) + 0.2
@@ -72,7 +70,13 @@ def _sparse_reference_grid(positions: list[Point3D]) -> list[Point3D]:
 
 
 def library_experiment(rep_index: int, seed: int, books_per_level: int = 12):
-    """Library workload: one shelf level of tagged book spines, handheld sweep."""
+    """Reference implementation of the library workload (pre-registry).
+
+    The leaderboard itself now builds this scenario from the committed
+    ``library.json`` spec; this function is kept verbatim as the ground truth
+    ``tests/test_scenario_equivalence.py`` pins the spec-built experiment
+    against, bit for bit.
+    """
     shelf = generate_bookshelf(levels=1, books_per_level=books_per_level, seed=seed)
     positions = [shelf.spine_positions()[book.call_number] for book in shelf.books]
     return standard_experiment(
@@ -84,7 +88,11 @@ def library_experiment(rep_index: int, seed: int, books_per_level: int = 12):
 
 
 def airport_experiment(rep_index: int, seed: int, bag_count: int = 10):
-    """Airport workload: one baggage batch riding the belt past a fixed antenna."""
+    """Reference implementation of the airport workload (pre-registry).
+
+    Kept verbatim as the bit-identity ground truth for the committed
+    ``airport.json`` spec — see :func:`library_experiment`.
+    """
     period = PAPER_PERIODS[rep_index % len(PAPER_PERIODS)]
     batch = baggage_batch(period, bag_count, batch_index=rep_index, seed=seed)
     positions = [tag.position for tag in batch.tags]
@@ -96,28 +104,9 @@ def airport_experiment(rep_index: int, seed: int, bag_count: int = 10):
     )
 
 
-_SCORE_FIVE = partial(score_schemes, scheme_factory=standard_scheme_suite)
-
-
 def scenario_plans(repetitions: int = DEFAULT_REPETITIONS, seed: int = DEFAULT_SEED):
-    """One five-scheme sweep plan per scenario, with explicit seed lists."""
-    factories = {
-        "library": library_experiment,
-        "airport": airport_experiment,
-        "warehouse": partial(
-            conveyor_experiment, config=ConveyorConfig(lanes=2, cartons_per_lane=5)
-        ),
-    }
-    return [
-        scheme_sweep_plan(
-            name=f"accuracy[{scenario}]",
-            scene_factory=factories[scenario],
-            scorer=_SCORE_FIVE,
-            repetitions=repetitions,
-            seeds=[seed + 31 * index + rep for rep in range(repetitions)],
-        )
-        for index, scenario in enumerate(SCENARIOS)
-    ]
+    """One five-scheme sweep plan per registered scenario, explicit seed lists."""
+    return default_registry().sweep_plans(repetitions=repetitions, seed=seed)
 
 
 def compute_leaderboard(
@@ -132,22 +121,25 @@ def compute_leaderboard(
     bench writer adds):
 
     * ``scenarios`` — ``{scenario: {scheme: {x, y, combined}}}`` mean
-      accuracies per workload;
+      accuracies per registered scenario;
     * ``mean_combined`` — ``{scheme: value}``, each scheme's combined
-      accuracy averaged over the three scenarios (the leaderboard column the
+      accuracy averaged over every scenario (the leaderboard column the
       "STPP on top" gate reads);
     * ``fig17`` — ``{scheme: combined}`` on the paper's Figure-17 deployment
       (five dense layouts), where the full paper ordering
       ``G-RSSI ~ Landmarc < OTrack < BackPos < STPP`` is gated — the belt
       workloads space tags widely, so RSSI-peak baselines legitimately do
       well there and only STPP's lead is enforced on the scenario means;
-    * ``schemes`` / ``scale`` — bookkeeping for the schema and comparability.
+    * ``schemes`` / ``scale`` — bookkeeping for the schema and comparability
+      (``scale`` records each scenario's tag count straight from its spec).
     """
     from ..evaluation.experiments import fig17_scheme_comparison
 
+    registry = default_registry()
+    names = registry.names()
     plans = scenario_plans(repetitions=repetitions, seed=seed)
     scenarios: dict[str, dict[str, dict[str, float]]] = {}
-    for scenario, outcome in zip(SCENARIOS, run_plans(plans, service)):
+    for scenario, outcome in zip(names, run_plans(plans, service)):
         per_scheme: dict[str, dict[str, float]] = {}
         for scheme in outcome.schemes():
             mean = outcome.mean_accuracy(scheme)
@@ -155,7 +147,7 @@ def compute_leaderboard(
         scenarios[scenario] = per_scheme
     mean_combined = {
         scheme: float(
-            np.mean([scenarios[scenario][scheme]["combined"] for scenario in SCENARIOS])
+            np.mean([scenarios[scenario][scheme]["combined"] for scenario in names])
         )
         for scheme in SCHEMES
     }
@@ -169,9 +161,9 @@ def compute_leaderboard(
         "scale": {
             "repetitions": repetitions,
             "fig17_repetitions": fig17_repetitions,
-            "library_books": 12,
-            "airport_bags": 10,
-            "warehouse_cartons": 10,
+            "scenario_tags": {
+                name: registry.get(name).tag_count for name in names
+            },
         },
     }
 

@@ -12,6 +12,7 @@ from .scenarios import (
     tag_moving_scenario,
 )
 from .speed_profiles import (
+    DEFAULT_BELT_SPEED_MPS,
     ConstantSpeedProfile,
     PiecewiseSpeedProfile,
     SpeedProfile,
@@ -22,6 +23,7 @@ from .trajectory import LinearTrajectory, WaypointTrajectory
 __all__ = [
     "BeltTagPositions",
     "ConstantSpeedProfile",
+    "DEFAULT_BELT_SPEED_MPS",
     "ConstantVelocityTagPositions",
     "LinearTrajectory",
     "PiecewiseSpeedProfile",

@@ -18,6 +18,16 @@ from typing import Protocol, Sequence
 
 import numpy as np
 
+DEFAULT_BELT_SPEED_MPS = 0.3
+"""The repository's canonical conveyor/sweep speed (m/s).
+
+Matches the micro-benchmark sweep speed (paper §4.3) and is the default of
+every scenario-spec motion kind (:data:`repro.scenarios.spec.MOTION_KINDS`).
+``workloads.airport.BELT_SPEED_MPS`` and
+``workloads.warehouse.NOMINAL_BELT_SPEED_MPS`` are deprecated aliases of
+this constant.
+"""
+
 
 class SpeedProfile(Protocol):
     """Maps elapsed time to distance travelled along the path."""

@@ -1,0 +1,53 @@
+"""Declarative scenario matrix: evaluation deployments as data.
+
+A :class:`ScenarioSpec` captures one end-to-end deployment — layout, tag
+population, motion, channel, reader placement — as a validated JSON
+document; the :class:`ScenarioRegistry` resolves named specs and expands
+them into the sweep plans the benchmark leaderboard scores.  See
+``docs/scenarios.md`` for the how-to and ``specs/`` for the committed
+catalog.
+"""
+
+from .builders import scenario_experiment
+from .catalog import (
+    LEGACY_SCENARIOS,
+    SPEC_DIR,
+    default_registry,
+    load_builtin_specs,
+    spec_files,
+)
+from .registry import (
+    DEFAULT_SEED,
+    SEED_STRIDE,
+    ScenarioRegistry,
+    expand_grid,
+)
+from .spec import (
+    Channel,
+    Layout,
+    Motion,
+    Placement,
+    ScenarioSpec,
+    SpecError,
+    TagPopulation,
+)
+
+__all__ = [
+    "Channel",
+    "DEFAULT_SEED",
+    "LEGACY_SCENARIOS",
+    "Layout",
+    "Motion",
+    "Placement",
+    "SEED_STRIDE",
+    "SPEC_DIR",
+    "ScenarioRegistry",
+    "ScenarioSpec",
+    "SpecError",
+    "TagPopulation",
+    "default_registry",
+    "expand_grid",
+    "load_builtin_specs",
+    "scenario_experiment",
+    "spec_files",
+]

@@ -1,0 +1,72 @@
+"""The built-in scenario catalog: committed spec files, loaded in seed order.
+
+Every scenario the leaderboard scores lives as a ``.json`` file in
+``specs/`` next to this module — adding a deployment to the benchmark matrix
+is a data change, not a code change.  :func:`default_registry` loads them
+into a process-wide :class:`~repro.scenarios.registry.ScenarioRegistry`:
+
+* the **legacy trio** (library, airport, warehouse) registers first, pinning
+  their registration indices at 0/1/2 so the seed formula keeps handing them
+  the exact repetition seeds their pre-registry factories used;
+* the remaining spec files register after, in sorted filename order.
+
+Adding or removing a non-legacy spec file therefore reshuffles the seeds of
+the files that sort after it — re-record ``BENCH_accuracy.json`` when the
+matrix changes (the accuracy gates will insist).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from .registry import ScenarioRegistry
+from .spec import ScenarioSpec, SpecError
+
+SPEC_DIR = Path(__file__).resolve().parent / "specs"
+"""Directory of the committed scenario spec files."""
+
+LEGACY_SCENARIOS: tuple[str, ...] = ("library", "airport", "warehouse")
+"""The pre-registry workloads; always registered first, in this order."""
+
+
+def spec_files() -> list[Path]:
+    """The committed spec files, in registration (= seed-index) order."""
+    paths = {path.stem: path for path in sorted(SPEC_DIR.glob("*.json"))}
+    for name in LEGACY_SCENARIOS:
+        if name not in paths:
+            raise SpecError("name", f"missing built-in spec file {name}.json in {SPEC_DIR}")
+    ordered = [paths.pop(name) for name in LEGACY_SCENARIOS]
+    ordered.extend(paths[stem] for stem in sorted(paths))
+    return ordered
+
+
+def load_builtin_specs() -> list[ScenarioSpec]:
+    """Parse every committed spec file (strict, with line-pointing errors).
+
+    A spec whose ``name`` disagrees with its filename stem is rejected: the
+    filename is how humans find the spec, the name is how the registry and
+    the leaderboard key it, and the two drifting apart is always a mistake.
+    """
+    specs = []
+    for path in spec_files():
+        spec = ScenarioSpec.from_file(path)
+        if spec.name != path.stem:
+            raise SpecError(
+                "name",
+                f"spec name {spec.name!r} does not match its filename {path.name!r}",
+            )
+        specs.append(spec)
+    return specs
+
+
+_DEFAULT_REGISTRY: ScenarioRegistry | None = None
+
+
+def default_registry() -> ScenarioRegistry:
+    """The process-wide registry of built-in scenarios (loaded once)."""
+    global _DEFAULT_REGISTRY
+    if _DEFAULT_REGISTRY is None:
+        registry = ScenarioRegistry()
+        registry.register_all(load_builtin_specs())
+        _DEFAULT_REGISTRY = registry
+    return _DEFAULT_REGISTRY

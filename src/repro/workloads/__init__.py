@@ -1,7 +1,6 @@
 """Workload generators: tag layouts, library shelf, airport + warehouse conveyors."""
 
 from .warehouse import (
-    NOMINAL_BELT_SPEED_MPS,
     ConveyorBatch,
     ConveyorConfig,
     ConveyorPortal,
@@ -13,7 +12,6 @@ from .warehouse import (
     warehouse_sweep_plan,
 )
 from .airport import (
-    BELT_SPEED_MPS,
     BaggageBatch,
     EVENING_PEAK,
     MIDDAY_OFF_PEAK,
@@ -39,6 +37,20 @@ from .library import (
     generate_bookshelf,
     misplace_books,
 )
+
+
+def __getattr__(name: str):
+    # Deprecated belt-speed aliases: resolved lazily so importing the package
+    # does not emit the DeprecationWarning, only actually touching the names.
+    if name == "BELT_SPEED_MPS":
+        from . import airport
+
+        return airport.BELT_SPEED_MPS
+    if name == "NOMINAL_BELT_SPEED_MPS":
+        from . import warehouse
+
+        return warehouse.NOMINAL_BELT_SPEED_MPS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 __all__ = [
     "BELT_SPEED_MPS",

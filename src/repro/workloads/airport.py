@@ -13,11 +13,25 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..motion.speed_profiles import DEFAULT_BELT_SPEED_MPS
 from ..rf.geometry import Point3D
 from ..rfid.tag import TagCollection, make_tags
 
-BELT_SPEED_MPS = 0.3
-"""Conveyor belt speed used in the evaluation (matches the micro-benchmarks)."""
+
+def __getattr__(name: str):
+    if name == "BELT_SPEED_MPS":
+        # Deprecated alias: the belt speed now lives with the scenario spec's
+        # motion config (repro.motion.speed_profiles.DEFAULT_BELT_SPEED_MPS).
+        import warnings
+
+        warnings.warn(
+            "repro.workloads.airport.BELT_SPEED_MPS is deprecated; use "
+            "repro.motion.speed_profiles.DEFAULT_BELT_SPEED_MPS",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return DEFAULT_BELT_SPEED_MPS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True, slots=True)
@@ -116,7 +130,7 @@ def order_bags(
     from ..simulation.presets import standard_tag_moving_scene
 
     scene = standard_tag_moving_scene(
-        batch.tags, belt_speed_mps=BELT_SPEED_MPS, seed=seed
+        batch.tags, belt_speed_mps=DEFAULT_BELT_SPEED_MPS, seed=seed
     )
     sweep = collect_sweep(scene)
     engine = localizer if localizer is not None else BatchLocalizer()

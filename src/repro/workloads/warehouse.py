@@ -32,15 +32,31 @@ from ..motion.scenarios import (
     StaticAntennaPosition,
     SweepScenario,
 )
-from ..motion.speed_profiles import ConstantSpeedProfile, jittered_speed_profile
+from ..motion.speed_profiles import (
+    DEFAULT_BELT_SPEED_MPS,
+    ConstantSpeedProfile,
+    jittered_speed_profile,
+)
 from ..rf.geometry import Point3D
 from ..rfid.aloha import FrameSlottedAloha
 from ..rfid.tag import TagCollection, make_tags
 from ..simulation.presets import SweepGeometry, standard_reader_config
 from ..simulation.scene import Scene
 
-NOMINAL_BELT_SPEED_MPS = 0.3
-"""Nominal sortation-belt speed; matches the micro-benchmark sweep speed."""
+def __getattr__(name: str):
+    if name == "NOMINAL_BELT_SPEED_MPS":
+        # Deprecated alias: the belt speed now lives with the scenario spec's
+        # motion config (repro.motion.speed_profiles.DEFAULT_BELT_SPEED_MPS).
+        import warnings
+
+        warnings.warn(
+            "repro.workloads.warehouse.NOMINAL_BELT_SPEED_MPS is deprecated; "
+            "use repro.motion.speed_profiles.DEFAULT_BELT_SPEED_MPS",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return DEFAULT_BELT_SPEED_MPS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True, slots=True)
@@ -60,7 +76,7 @@ class ConveyorConfig:
     max_gap_m: float = 0.25
     """Range of gaps between consecutive cartons within a lane."""
 
-    nominal_speed_mps: float = NOMINAL_BELT_SPEED_MPS
+    nominal_speed_mps: float = DEFAULT_BELT_SPEED_MPS
     """Average belt speed."""
 
     speed_jitter_fraction: float = 0.15
@@ -200,12 +216,18 @@ def conveyor_scene(
     seed: int | None = None,
     geometry: SweepGeometry = SweepGeometry(),
     extra_tags: TagCollection | None = None,
+    noise=None,
+    reflector_count: int | None = None,
 ) -> Scene:
     """Simulation scene for one conveyor batch.
 
     ``extra_tags`` (e.g. Landmarc reference tags riding the belt) join the
-    sweep; they move with the same belt profile as the cartons.
+    sweep; they move with the same belt profile as the cartons.  ``noise``
+    and ``reflector_count`` override the channel preset (scenario specs pin
+    them explicitly); ``None`` keeps the calibrated defaults.
     """
+    from ..simulation.presets import DEFAULT_NOISE, DEFAULT_REFLECTOR_COUNT
+
     all_tags = TagCollection(list(batch.tags.tags))
     if extra_tags is not None:
         for tag in extra_tags:
@@ -213,7 +235,14 @@ def conveyor_scene(
     rng = np.random.default_rng(seed)
     combined = ConveyorBatch(tags=all_tags, config=batch.config, batch_index=batch.batch_index)
     scenario = conveyor_scenario(combined, geometry=geometry, rng=rng)
-    reader_config = standard_reader_config(all_tags, seed=seed)
+    reader_config = standard_reader_config(
+        all_tags,
+        seed=seed,
+        noise=noise if noise is not None else DEFAULT_NOISE,
+        reflector_count=(
+            reflector_count if reflector_count is not None else DEFAULT_REFLECTOR_COUNT
+        ),
+    )
     return Scene(
         tags=all_tags,
         scenario=scenario,
@@ -229,6 +258,9 @@ def conveyor_experiment(
     seed: int,
     config: ConveyorConfig = ConveyorConfig(),
     reference_spacing_m: float = 0.30,
+    geometry: SweepGeometry = SweepGeometry(),
+    noise=None,
+    reflector_count: int | None = None,
 ):
     """Sweep-plan scene factory: one scored conveyor batch per repetition.
 
@@ -250,7 +282,14 @@ def conveyor_experiment(
         origin=Point3D(min(xs) - 0.1, min(ys) - 0.1, 0.0),
     )
     reference_tags, reference_positions = make_reference_tags(grid, seed)
-    scene = conveyor_scene(batch, seed=seed, extra_tags=reference_tags)
+    scene = conveyor_scene(
+        batch,
+        seed=seed,
+        geometry=geometry,
+        extra_tags=reference_tags,
+        noise=noise,
+        reflector_count=reflector_count,
+    )
     return build_experiment(
         scene, target_tags=batch.tags, reference_positions=reference_positions
     )

@@ -35,9 +35,11 @@ def healthy_payload() -> dict:
         "library": {"x": 1.0, "y": 1.0},
         "airport": {"x": 0.7, "y": 0.4},
         "warehouse": {"x": 1.0, "y": 0.3},
+        "cold_chain_tunnel": {"x": 1.0, "y": 0.9},
+        "robot_aisle_scan": {"x": 1.0, "y": 1.0},
     }
     schemes = ["STPP", "BackPos", "OTrack", "Landmarc", "G-RSSI"]
-    mean = {"STPP": 0.72, "BackPos": 0.34, "OTrack": 0.44, "Landmarc": 0.53, "G-RSSI": 0.58}
+    mean = {"STPP": 0.72, "BackPos": 0.42, "OTrack": 0.52, "Landmarc": 0.59, "G-RSSI": 0.62}
     fig17 = {"STPP": 0.77, "BackPos": 0.56, "OTrack": 0.43, "Landmarc": 0.52, "G-RSSI": 0.33}
     per_scheme = lambda axes: {  # noqa: E731 - tiny fixture helper
         scheme: {
@@ -128,7 +130,7 @@ def test_schema_corruption_fails_before_any_floor(tmp_path):
 
 def test_floor_overrides_are_respected(tmp_path):
     payload = healthy_payload()
-    payload["mean_combined"]["G-RSSI"] = 0.30  # below the default 0.40 floor
+    payload["mean_combined"]["G-RSSI"] = 0.30  # below the default 0.45 floor
     write_accuracy(tmp_path, payload)
     assert run_gate(tmp_path).returncode == 1
     proc = run_gate(tmp_path, "--mean-floor", "G-RSSI=0.25")

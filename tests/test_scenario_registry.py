@@ -1,0 +1,162 @@
+"""Registry tests: ordering, seed derivation, and grid expansion.
+
+The registry is the layer that turns validated specs into the sweep plans
+the leaderboard scores, so the properties pinned here are the comparability
+contract: the legacy trio keeps its historical seed indices (0, 1, 2), every
+plan's seeds follow ``seed + 31 * index + rep``, and subsetting the matrix
+never shifts a scenario's seeds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenarios import (
+    DEFAULT_SEED,
+    LEGACY_SCENARIOS,
+    ScenarioRegistry,
+    ScenarioSpec,
+    SpecError,
+    default_registry,
+    expand_grid,
+    load_builtin_specs,
+)
+from repro.scenarios.registry import SEED_STRIDE
+
+
+def make_spec(name: str = "alpha", **overrides) -> ScenarioSpec:
+    payload = {
+        "name": name,
+        "description": "registry test spec",
+        "layout": {"kind": "row", "spacing_m": 0.1},
+        "population": {"count": 6},
+        "motion": {"kind": "handheld"},
+    }
+    payload.update(overrides)
+    return ScenarioSpec.from_json(payload)
+
+
+class TestDefaultRegistry:
+    def test_legacy_trio_holds_the_first_three_indices(self):
+        registry = default_registry()
+        assert registry.names()[:3] == LEGACY_SCENARIOS
+        for index, name in enumerate(LEGACY_SCENARIOS):
+            assert registry.index_of(name) == index
+
+    def test_matrix_has_at_least_four_new_scenarios(self):
+        registry = default_registry()
+        assert len(registry) >= len(LEGACY_SCENARIOS) + 4
+
+    def test_default_registry_is_cached(self):
+        assert default_registry() is default_registry()
+
+    def test_builtin_specs_load_in_registry_order(self):
+        registry = default_registry()
+        assert tuple(spec.name for spec in load_builtin_specs()) == registry.names()
+
+
+class TestRegistration:
+    def test_registration_preserves_order(self):
+        registry = ScenarioRegistry()
+        registry.register_all([make_spec("b"), make_spec("a"), make_spec("c")])
+        assert registry.names() == ("b", "a", "c")
+        assert [spec.name for spec in registry] == ["b", "a", "c"]
+
+    def test_duplicate_registration_rejected(self):
+        registry = ScenarioRegistry()
+        registry.register(make_spec("a"))
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(make_spec("a"))
+
+    def test_replace_keeps_the_original_index(self):
+        registry = ScenarioRegistry()
+        registry.register_all([make_spec("a"), make_spec("b")])
+        replacement = make_spec("a", population={"count": 9})
+        registry.register(replacement, replace=True)
+        assert registry.index_of("a") == 0
+        assert registry.get("a").tag_count == 9
+
+    def test_unknown_name_lists_the_known_ones(self):
+        registry = ScenarioRegistry()
+        registry.register(make_spec("a"))
+        with pytest.raises(KeyError, match="registered: a"):
+            registry.get("nope")
+
+
+class TestSweepPlans:
+    def test_seed_formula(self):
+        registry = ScenarioRegistry()
+        registry.register_all([make_spec("a"), make_spec("b"), make_spec("c")])
+        plans = registry.sweep_plans(repetitions=3, seed=100)
+        for index, plan in enumerate(plans):
+            expected = [100 + SEED_STRIDE * index + rep for rep in range(3)]
+            assert list(plan.seeds) == expected
+
+    def test_plan_names_carry_the_scenario(self):
+        registry = ScenarioRegistry()
+        registry.register_all([make_spec("a"), make_spec("b")])
+        plans = registry.sweep_plans(repetitions=1)
+        assert [plan.name for plan in plans] == ["accuracy[a]", "accuracy[b]"]
+
+    def test_subset_keeps_registration_index_seeds(self):
+        registry = ScenarioRegistry()
+        registry.register_all([make_spec("a"), make_spec("b"), make_spec("c")])
+        full = {p.name: list(p.seeds) for p in registry.sweep_plans(repetitions=2)}
+        subset = registry.sweep_plans(repetitions=2, names=("c",))
+        assert len(subset) == 1
+        assert list(subset[0].seeds) == full["accuracy[c]"]
+
+    def test_default_seed_matches_the_leaderboard(self):
+        registry = ScenarioRegistry()
+        registry.register(make_spec("a"))
+        (plan,) = registry.sweep_plans(repetitions=1)
+        assert list(plan.seeds) == [DEFAULT_SEED]
+
+    def test_all_default_plan_seeds_are_distinct(self):
+        plans = default_registry().sweep_plans(repetitions=2)
+        seeds = [seed for plan in plans for seed in plan.seeds]
+        assert len(seeds) == len(set(seeds))
+
+
+class TestExpandGrid:
+    def test_cartesian_product_counts(self):
+        spec = make_spec("base")
+        variants = expand_grid(
+            spec,
+            {
+                "motion.speed_mps": [0.2, 0.3],
+                "layout.spacing_m": [0.05, 0.1, 0.15],
+            },
+        )
+        assert len(variants) == 6
+
+    def test_variant_names_encode_the_overrides(self):
+        spec = make_spec("base")
+        variants = expand_grid(spec, {"motion.speed_mps": [0.2, 0.4]})
+        names = [v.name for v in variants]
+        assert names == [
+            "base[motion.speed_mps=0.2]",
+            "base[motion.speed_mps=0.4]",
+        ]
+        assert variants[1].motion.speed_mps == 0.4
+
+    def test_empty_axes_returns_the_base_spec(self):
+        spec = make_spec("base")
+        assert expand_grid(spec, {}) == [spec]
+
+    def test_variants_are_revalidated(self):
+        spec = make_spec("base")
+        with pytest.raises(SpecError, match=r"motion\.speed_mps"):
+            expand_grid(spec, {"motion.speed_mps": [-1.0]})
+
+    def test_unknown_axis_path_rejected(self):
+        spec = make_spec("base")
+        with pytest.raises(SpecError):
+            expand_grid(spec, {"motion.warp_factor": [1.0]})
+
+    def test_expanded_variants_register_and_plan(self):
+        spec = make_spec("base")
+        registry = ScenarioRegistry()
+        registry.register_all(expand_grid(spec, {"population.count": [4, 5]}))
+        plans = registry.sweep_plans(repetitions=1, seed=7)
+        assert [list(p.seeds) for p in plans] == [[7], [7 + SEED_STRIDE]]
