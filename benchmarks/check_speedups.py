@@ -6,7 +6,11 @@ engine's recorded win fails the build instead of silently shipping:
 * ``BENCH_sweep.json``        — the round-batched RF sweep kernel must beat
                                 the scalar per-read path on the static scene,
                                 and the fused two-phase engine must beat the
-                                per-round engine;
+                                per-round engine; the physics-backend matrix
+                                must be bit-identical on every host, and the
+                                threads/process backends must hold their
+                                floor only when the record marks the
+                                comparison conclusive (multi-core host);
 * ``BENCH_dtw.json``          — the batched DTW engine must beat the seed's
                                 pure-Python per-tag loop, and the end-to-end
                                 localize overhead must stay under the ceiling
@@ -74,7 +78,7 @@ def _require(condition: bool, message: str) -> None:
         FAILURES.append(message)
 
 
-def check_sweep(path: Path, floor: float, fused_floor: float) -> None:
+def check_sweep(path: Path, floor: float, fused_floor: float, backend_floor: float) -> None:
     print(f"sweep kernel ({path}):")
     payload = _load(path, "sweep")
     if payload is None:
@@ -98,6 +102,36 @@ def check_sweep(path: Path, floor: float, fused_floor: float) -> None:
             bool(scene.get("results_bit_identical")),
             f"{scene_name} scene: all engines' logs bit-identical",
         )
+
+    backends = payload.get("backends")
+    if backends is None:
+        print("  skip: no physics-backend matrix (pre-PR-8 file)")
+        return
+    # Bit-identity across physics backends is unconditional — it holds on
+    # any host.  Speedup floors only apply when the record says the host
+    # could measure parallelism at all (never on single-core runners, where
+    # a ~1x "speedup" would be noise).
+    for scene_name, scene in backends.items():
+        _require(
+            bool(scene.get("results_bit_identical")),
+            f"{scene_name} scene: all physics backends' logs bit-identical",
+        )
+    if not payload.get("parallel_comparison_conclusive", payload.get("cpu_count", 1) > 1):
+        print(
+            "  skip: backend speedups inconclusive "
+            f"(cpu_count={payload.get('cpu_count')}) — no backend floor applied"
+        )
+        return
+    for scene_name, scene in backends.items():
+        for field in ("speedup_threads_vs_serial", "speedup_process_vs_serial"):
+            value = scene.get(field)
+            if value is None:
+                print(f"  skip: {scene_name} {field} not recorded")
+                continue
+            _require(
+                float(value) >= backend_floor,
+                f"{scene_name} {field} {float(value):.2f}x >= {backend_floor}x",
+            )
 
 
 def check_dtw(path: Path, floor: float, overhead_ceiling: float) -> None:
@@ -197,6 +231,12 @@ def main() -> None:
         "recorded 200-tag scene sits above 2x — smoke scenes are smaller, so "
         "the default floor is conservative)",
     )
+    parser.add_argument(
+        "--sweep-backend-floor", type=float, default=1.0,
+        help="minimum threads/process-vs-serial physics-backend speedup, "
+        "applied only when the record marks the comparison conclusive "
+        "(multi-core host); bit-identity is checked on every host",
+    )
     parser.add_argument("--dtw-floor", type=float, default=5.0)
     parser.add_argument(
         "--dtw-overhead-ceiling", type=float, default=2.0,
@@ -226,7 +266,10 @@ def main() -> None:
     args = parser.parse_args()
 
     if args.only in (None, "sweep"):
-        check_sweep(args.sweep, args.sweep_floor, args.sweep_fused_floor)
+        check_sweep(
+            args.sweep, args.sweep_floor, args.sweep_fused_floor,
+            args.sweep_backend_floor,
+        )
     if args.only in (None, "dtw"):
         check_dtw(args.dtw, args.dtw_floor, args.dtw_overhead_ceiling)
     if args.only in (None, "experiments"):

@@ -95,14 +95,19 @@ class _TagPositionsBase:
         """Initial positions of ``tag_ids`` as an ``(N, 3)`` array (cached)."""
         key = tuple(tag_ids)
         if key != self._array_key:
-            self._array_key = key
-            self._array_value = np.array(
+            value = np.array(
                 [
                     (p.x, p.y, p.z)
                     for p in (self._positions[tag_id] for tag_id in key)
                 ],
                 dtype=float,
             ).reshape(len(key), 3)
+            # Publish the value before the key: concurrent chunk kernels (the
+            # parallel physics backends) that observe the new key then always
+            # read the matching array.  The reader also pre-warms this cache
+            # before fan-out, so the racy double-compute is cold-path only.
+            self._array_value = value
+            self._array_key = key
         return self._array_value
 
     def positions_paired(

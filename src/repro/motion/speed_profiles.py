@@ -86,6 +86,16 @@ class PiecewiseSpeedProfile:
         self._cum_times = np.cumsum([d for d, _ in self._segments])
         distances = [d * s for d, s in self._segments]
         self._cum_distances = np.cumsum(distances)
+        # Padded per-segment arrays for the vectorized query, built once:
+        # distances_at runs once per inventory round (the belt providers call
+        # it from the sweep schedulers), and profiles carry hundreds of
+        # segments, so rebuilding these per call dominated moving-scene
+        # scheduling.
+        self._start_times = np.concatenate([[0.0], self._cum_times])
+        self._start_distances = np.concatenate([[0.0], self._cum_distances])
+        self._speeds = np.array(
+            [s for _, s in self._segments] + [self._segments[-1][1]]
+        )
 
     @property
     def segments(self) -> list[tuple[float, float]]:
@@ -115,10 +125,10 @@ class PiecewiseSpeedProfile:
         """
         times = np.asarray(times_s, dtype=float)
         index = np.searchsorted(self._cum_times, times, side="left")
-        start_times = np.concatenate([[0.0], self._cum_times])
-        start_dists = np.concatenate([[0.0], self._cum_distances])
-        speeds = np.array([s for _, s in self._segments] + [self._segments[-1][1]])
-        distances = start_dists[index] + (times - start_times[index]) * speeds[index]
+        distances = (
+            self._start_distances[index]
+            + (times - self._start_times[index]) * self._speeds[index]
+        )
         return np.where(times <= 0.0, 0.0, distances)
 
     def time_to_cover(self, distance_m: float) -> float:

@@ -1,0 +1,214 @@
+"""Pluggable physics backends for the fused sweep engine.
+
+PR 5 split a sweep into a sequential, rng-owning **scheduling** phase and an
+order-free **physics** phase over the emitted
+:class:`~repro.rfid.event_table.SweepEventTable`.  The physics phase is
+rng-free and every event's observables depend only on that event's own row
+(geometry, link budget, multipath, Eq. (1) phase, quantisation), so the event
+rows can be evaluated in any partition, in any order, and concatenated back —
+**bitwise identically**.  This module turns that property into a pluggable
+execution layer:
+
+* ``serial``  — the whole table in one fused NumPy pass (the default; exactly
+  the pre-backend behaviour);
+* ``threads`` — the table split into row chunks across a thread pool.  The
+  big NumPy kernels in :meth:`~repro.rf.channel.BackscatterChannel.sweep_physics`
+  and :meth:`~repro.rf.multipath.MultipathChannel.complex_gains` release the
+  GIL, so chunks genuinely overlap on multi-core hosts;
+* ``process`` — the same chunking across a process pool, for populations big
+  enough to amortise pickling the sweep state.  Sweeps whose state cannot be
+  pickled (e.g. closure-based position providers) fall back to in-process
+  evaluation of the identical chunks rather than failing.
+
+A backend never touches the generator and never reorders rows: chunk results
+are concatenated in chunk order, so every backend's
+:class:`~repro.rf.channel.SweepPhysics` columns — and therefore the read log —
+are bit-identical to ``serial`` (pinned by ``tests/test_physics_backends.py``).
+
+Selection: pass a name or instance to :class:`~repro.rfid.reader.RFIDReader`
+(or per sweep via ``RFIDReader.sweep(..., physics_backend=...)``), or set the
+``REPRO_PHYSICS_BACKEND`` environment variable — the hook CI uses to force the
+whole tier-1 suite through the threads backend.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Callable, Sequence
+
+PHYSICS_BACKEND_ENV = "REPRO_PHYSICS_BACKEND"
+"""Environment override for the default backend (e.g. CI forces ``threads``)."""
+
+PHYSICS_BACKENDS: tuple[str, ...] = ("serial", "threads", "process")
+"""The built-in backend names, all bit-identical from the same event table."""
+
+DEFAULT_CHUNK_EVENTS = 4096
+"""Default events per chunk for the parallel backends.
+
+Small enough that a handful of chunks exist on the benchmark scenes (so a
+pool has something to balance), large enough that each chunk's NumPy kernels
+dominate the per-chunk dispatch overhead."""
+
+ChunkKernel = Callable[[int, int], tuple]
+"""``kernel(start, stop)`` evaluates event rows ``[start, stop)`` and returns
+that chunk's physics columns.  Must be pure per chunk: no rng, no shared
+mutable state (the reader pre-warms provider caches before dispatch)."""
+
+Bounds = Sequence[tuple[int, int]]
+
+
+def _chunk_bounds(count: int, chunk_events: int) -> list[tuple[int, int]]:
+    """Contiguous ``[start, stop)`` row ranges covering ``count`` events."""
+    chunk = max(1, int(chunk_events))
+    return [(start, min(start + chunk, count)) for start in range(0, count, chunk)]
+
+
+class SerialPhysicsBackend:
+    """The default backend: one fused pass over the whole event table."""
+
+    name = "serial"
+
+    def chunk_bounds(self, count: int) -> list[tuple[int, int]]:
+        return [(0, count)] if count else []
+
+    def map_chunks(self, kernel: ChunkKernel, bounds: Bounds) -> list[tuple]:
+        return [kernel(start, stop) for start, stop in bounds]
+
+    def close(self) -> None:
+        """Nothing to release."""
+
+
+class ThreadPhysicsBackend:
+    """Chunk the event rows across a reused thread pool.
+
+    Python-level chunk dispatch serialises on the GIL, but each chunk's time
+    is dominated by NumPy kernels that release it, so chunks overlap on
+    multi-core hosts.  On a single-core host this backend degrades to
+    serial-with-dispatch-overhead — the benchmarks mark such comparisons
+    inconclusive rather than recording the ~1x as a speedup.
+    """
+
+    name = "threads"
+
+    def __init__(
+        self, workers: int | None = None, chunk_events: int = DEFAULT_CHUNK_EVENTS
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_events < 1:
+            raise ValueError(f"chunk_events must be >= 1, got {chunk_events}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.chunk_events = chunk_events
+        self._pool: ThreadPoolExecutor | None = None
+
+    def __getstate__(self) -> dict:
+        # The pool (and its locks) never crosses process boundaries: the
+        # process backend pickles the reader — which holds a backend — into
+        # its workers, where chunk kernels run directly, pool-less.
+        return {**self.__dict__, "_pool": None}
+
+    def chunk_bounds(self, count: int) -> list[tuple[int, int]]:
+        return _chunk_bounds(count, self.chunk_events)
+
+    def map_chunks(self, kernel: ChunkKernel, bounds: Bounds) -> list[tuple]:
+        if len(bounds) <= 1 or self.workers == 1:
+            return [kernel(start, stop) for start, stop in bounds]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers, thread_name_prefix="physics"
+            )
+        futures = [self._pool.submit(kernel, start, stop) for start, stop in bounds]
+        return [future.result() for future in futures]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+class ProcessPhysicsBackend:
+    """Chunk the event rows across a reused process pool.
+
+    Each chunk ships the (picklable) sweep state to a worker and returns the
+    chunk's physics columns; the payload is the sweep setup plus the event
+    table's scheduling columns, so the cost only amortises on large
+    populations.  Sweeps whose state cannot be pickled (closure providers,
+    lambdas) are evaluated in-process through the identical chunk kernel —
+    the fallback changes the executor, never the arithmetic.
+    """
+
+    name = "process"
+
+    def __init__(
+        self, workers: int | None = None, chunk_events: int = 4 * DEFAULT_CHUNK_EVENTS
+    ) -> None:
+        if workers is not None and workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if chunk_events < 1:
+            raise ValueError(f"chunk_events must be >= 1, got {chunk_events}")
+        self.workers = workers if workers is not None else (os.cpu_count() or 1)
+        self.chunk_events = chunk_events
+        self._pool: ProcessPoolExecutor | None = None
+        self.last_fallback_reason: str | None = None
+
+    def __getstate__(self) -> dict:
+        # See ThreadPhysicsBackend.__getstate__ — pools never pickle.
+        return {**self.__dict__, "_pool": None}
+
+    def chunk_bounds(self, count: int) -> list[tuple[int, int]]:
+        return _chunk_bounds(count, self.chunk_events)
+
+    def map_chunks(self, kernel: ChunkKernel, bounds: Bounds) -> list[tuple]:
+        self.last_fallback_reason = None
+        if len(bounds) <= 1 or self.workers == 1:
+            return [kernel(start, stop) for start, stop in bounds]
+        try:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(max_workers=self.workers)
+            futures = [
+                self._pool.submit(kernel, start, stop) for start, stop in bounds
+            ]
+            return [future.result() for future in futures]
+        except Exception as exc:  # unpicklable sweep state, broken pool, ...
+            self.last_fallback_reason = f"{type(exc).__name__}: {exc}"
+            self.close()
+            return [kernel(start, stop) for start, stop in bounds]
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+_BACKEND_FACTORIES = {
+    "serial": SerialPhysicsBackend,
+    "threads": ThreadPhysicsBackend,
+    "process": ProcessPhysicsBackend,
+}
+
+
+def resolve_physics_backend(backend: object | None = None):
+    """Normalise a backend argument into a backend instance.
+
+    ``None`` consults the ``REPRO_PHYSICS_BACKEND`` environment variable and
+    defaults to ``serial``; a string is looked up among the built-ins; an
+    object exposing the backend interface (``name``, ``chunk_bounds``,
+    ``map_chunks``) passes through unchanged.
+    """
+    if backend is None:
+        backend = os.environ.get(PHYSICS_BACKEND_ENV) or "serial"
+    if isinstance(backend, str):
+        factory = _BACKEND_FACTORIES.get(backend)
+        if factory is None:
+            raise ValueError(
+                f"physics backend must be one of {PHYSICS_BACKENDS}, got {backend!r}"
+            )
+        return factory()
+    for attribute in ("name", "chunk_bounds", "map_chunks"):
+        if not hasattr(backend, attribute):
+            raise TypeError(
+                f"physics backend {backend!r} lacks the {attribute!r} attribute "
+                f"of the backend interface"
+            )
+    return backend

@@ -40,7 +40,9 @@ their read logs are **bit-identical** — pinned by
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Mapping, Sequence
 
 import numpy as np
@@ -52,6 +54,7 @@ from ..rf.geometry import Point3D, euclidean_distances
 from ..rf.multipath import Reflector
 from ..rf.phase_model import DeviceOffsets
 from .aloha import FrameSlottedAloha, SlotOutcome
+from .backends import resolve_physics_backend
 from .coupling import NeighborGrid
 from .event_table import SweepEventTable
 from .reading import ReadBatch, ReadLog, TagRead
@@ -409,13 +412,22 @@ class RFIDReader:
         self,
         config: ReaderConfig | None = None,
         protocol: FrameSlottedAloha | None = None,
+        physics_backend: object | None = None,
     ) -> None:
         self.config = config if config is not None else ReaderConfig()
         self.protocol = protocol if protocol is not None else FrameSlottedAloha()
+        self.physics_backend = resolve_physics_backend(physics_backend)
+        """How the fused engine's physics pass executes: ``serial`` (default),
+        ``threads``, ``process``, or a custom backend instance — see
+        :mod:`repro.rfid.backends`.  All backends are bit-identical; the
+        default honours the ``REPRO_PHYSICS_BACKEND`` environment variable."""
+
         self._per_tag_channels: dict[str, BackscatterChannel] = {}
         self.last_sweep_stats: dict = {}
         """Diagnostics of the most recent fused sweep: optimistic attempts,
-        rolled-back rounds, and whether the per-round fallback engaged."""
+        rolled-back rounds, whether the per-round fallback engaged, the
+        physics backend and its chunk count, and the scheduling-vs-physics
+        wall-time split."""
 
     def _device_offsets_for(self, tag: Tag) -> DeviceOffsets:
         """Eq. (1) ``mu`` components for one tag behind this reader."""
@@ -455,6 +467,7 @@ class RFIDReader:
         rng: np.random.Generator | None = None,
         batched: bool = True,
         engine: str | None = None,
+        physics_backend: object | None = None,
     ) -> ReadLog:
         """Run inventory rounds for ``duration_s`` seconds and return the read log.
 
@@ -480,6 +493,11 @@ class RFIDReader:
             batched kernel), or ``"scalar"`` (the read-at-a-time reference
             loop).  All three produce bit-identical logs from the same seed;
             an explicit ``engine`` overrides ``batched``.
+        physics_backend:
+            Per-sweep override of the reader's physics backend (name or
+            instance, see :mod:`repro.rfid.backends`); only the fused engine
+            has a parallelisable physics phase, the other engines ignore it.
+            All backends produce bit-identical logs.
         """
         if duration_s <= 0:
             raise ValueError(f"duration must be positive, got {duration_s}")
@@ -492,7 +510,8 @@ class RFIDReader:
         rng = rng if rng is not None else np.random.default_rng()
         if engine == "fused":
             return self.sweep_events(
-                tags, antenna_position, duration_s, tag_position, rng
+                tags, antenna_position, duration_s, tag_position, rng,
+                physics_backend=physics_backend,
             ).to_read_log()
         if engine == "round":
             return self._sweep_batched(tags, antenna_position, duration_s, tag_position, rng)
@@ -931,6 +950,7 @@ class RFIDReader:
         duration_s: float,
         tag_position: TagPositionFn | None = None,
         rng: np.random.Generator | None = None,
+        physics_backend: object | None = None,
     ) -> SweepEventTable:
         """Run the fused two-phase sweep and return its completed event table.
 
@@ -960,18 +980,32 @@ class RFIDReader:
         if duration_s <= 0:
             raise ValueError(f"duration must be positive, got {duration_s}")
         rng = rng if rng is not None else np.random.default_rng()
+        backend = (
+            self.physics_backend
+            if physics_backend is None
+            else resolve_physics_backend(physics_backend)
+        )
         setup = self._sweep_setup(tags, tag_position, antenna_position)
         noise = self.config.channel.noise
 
         rng_checkpoint = rng.bit_generator.state
         protocol_checkpoint = self.protocol.scheduling_checkpoint()
         corrections: dict[int, np.ndarray] = {}
-        stats = {"attempts": 0, "rolled_back_rounds": 0, "per_round_fallback": False}
+        stats = {
+            "attempts": 0,
+            "rolled_back_rounds": 0,
+            "per_round_fallback": False,
+            "backend": backend.name,
+            "physics_chunks": 0,
+            "scheduling_s": 0.0,
+            "physics_s": 0.0,
+        }
 
         scheduler = _SweepScheduler(self, setup, antenna_position, duration_s, rng)
         table: SweepEventTable | None = None
         resume_round: int | None = None
         for attempt in range(_MAX_FUSED_ATTEMPTS):
+            tick = time.perf_counter()
             if resume_round is None:
                 candidate = scheduler.run(corrections)
             else:
@@ -979,7 +1013,12 @@ class RFIDReader:
                 # generator correctly — replay only the tail from that
                 # round's checkpoint.
                 candidate = scheduler.resume(resume_round, corrections)
-            self._observe_events(setup, antenna_position, candidate)
+            tock = time.perf_counter()
+            stats["scheduling_s"] += tock - tick
+            stats["physics_chunks"] += self._observe_events(
+                setup, antenna_position, candidate, backend
+            )
+            stats["physics_s"] += time.perf_counter() - tock
             stats["attempts"] = attempt + 1
             if noise.random_dropout_probability == 0.0:
                 # Deep fades never gate a draw when dropouts are off; the
@@ -1121,20 +1160,24 @@ class RFIDReader:
             extra_index,
         )
 
-    def _observe_events(
+    def _observe_event_range(
         self,
         setup: "_SweepSetup",
         antenna_position: AntennaPositionFn,
         table: SweepEventTable,
-    ) -> None:
-        """Phase 2: fused physics over the whole event table, in place."""
-        count = len(table)
-        if count == 0:
-            table.phase_rad = np.empty(0)
-            table.rssi_dbm = np.empty(0)
-            table.readable = np.empty(0, dtype=bool)
-            table.deep_fade = np.empty(0, dtype=bool)
-            return
+        start: int,
+        stop: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Physics of event rows ``[start, stop)``: the backend chunk kernel.
+
+        Every per-event observable depends only on that event's own row, so
+        evaluating any row range yields exactly the rows the whole-table pass
+        would — the invariant that makes the parallel backends bit-identical
+        (pinned by the chunk-boundary property tests).  Returns the chunk's
+        ``(phase, rssi, readable, deep_fade)`` columns.
+        """
+        times = table.times_s[start:stop]
+        tag_indices = table.tag_indices[start:stop]
         (
             antenna_rows,
             event_tag_positions,
@@ -1142,23 +1185,66 @@ class RFIDReader:
             extra_coefficients,
             extra_decays,
             extra_index,
-        ) = self._event_geometry(setup, antenna_position, table.times_s, table.tag_indices)
+        ) = self._event_geometry(setup, antenna_position, times, tag_indices)
         observation, deep_fade = self.config.channel.observe_sweep(
             antenna_rows,
             event_tag_positions,
-            dropped=table.dropped,
-            phase_noise=table.phase_noise_rad,
-            rssi_noise=table.rssi_noise_db,
-            device_offsets_total=setup.mu_by_tag[table.tag_indices],
+            dropped=table.dropped[start:stop],
+            phase_noise=table.phase_noise_rad[start:stop],
+            rssi_noise=table.rssi_noise_db[start:stop],
+            device_offsets_total=setup.mu_by_tag[tag_indices],
             extra_positions=extra_positions,
             extra_coefficients=extra_coefficients,
             extra_decays=extra_decays,
             extra_event_index=extra_index,
         )
-        table.phase_rad = observation.phase_rad
-        table.rssi_dbm = observation.rssi_dbm
-        table.readable = observation.readable
+        return observation.phase_rad, observation.rssi_dbm, observation.readable, deep_fade
+
+    def _observe_events(
+        self,
+        setup: "_SweepSetup",
+        antenna_position: AntennaPositionFn,
+        table: SweepEventTable,
+        backend: object,
+    ) -> int:
+        """Phase 2: physics over the whole event table, in place.
+
+        The table's rows are split into the backend's chunk bounds, each chunk
+        evaluated by :meth:`_observe_event_range`, and the results stitched
+        back in chunk order — bitwise the single fused pass, whatever the
+        chunking.  Returns the number of chunks dispatched.
+        """
+        count = len(table)
+        if count == 0:
+            table.phase_rad = np.empty(0)
+            table.rssi_dbm = np.empty(0)
+            table.readable = np.empty(0, dtype=bool)
+            table.deep_fade = np.empty(0, dtype=bool)
+            return 0
+        bounds = backend.chunk_bounds(count)
+        if len(bounds) <= 1:
+            results = [self._observe_event_range(setup, antenna_position, table, 0, count)]
+        else:
+            # Populate the providers' lazily-filled caches before fan-out so
+            # parallel chunk kernels only ever read them.
+            warm = getattr(setup.provider, "initial_array", None)
+            if warm is not None:
+                warm(setup.ids)
+            _event_indices(min(max(stop - start for start, stop in bounds), count))
+            kernel = partial(_physics_chunk, self, setup, antenna_position, table)
+            results = backend.map_chunks(kernel, bounds)
+        if len(results) == 1:
+            phase, rssi, readable, deep_fade = results[0]
+        else:
+            phase = np.concatenate([chunk[0] for chunk in results])
+            rssi = np.concatenate([chunk[1] for chunk in results])
+            readable = np.concatenate([chunk[2] for chunk in results])
+            deep_fade = np.concatenate([chunk[3] for chunk in results])
+        table.phase_rad = phase
+        table.rssi_dbm = rssi
+        table.readable = readable
         table.deep_fade = deep_fade
+        return len(bounds)
 
     def _sweep_table_per_round(
         self,
@@ -1265,3 +1351,20 @@ class RFIDReader:
             rssi_dbm=_column(8),
             readable=_column(9, dtype=bool),
         )
+
+
+def _physics_chunk(
+    reader: RFIDReader,
+    setup: _SweepSetup,
+    antenna_position: AntennaPositionFn,
+    table: SweepEventTable,
+    start: int,
+    stop: int,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Module-level chunk kernel the backends dispatch (picklable via partial).
+
+    Thread backends call it in-process; the process backend pickles the bound
+    arguments (reader, setup, antenna provider, event table) to its workers.
+    Either way it is a pure function of the chunk's rows.
+    """
+    return reader._observe_event_range(setup, antenna_position, table, start, stop)

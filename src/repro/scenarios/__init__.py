@@ -11,9 +11,13 @@ catalog.
 from .builders import scenario_experiment
 from .catalog import (
     LEGACY_SCENARIOS,
+    SHOWCASE_SPEC_DIR,
     SPEC_DIR,
     default_registry,
     load_builtin_specs,
+    load_showcase_specs,
+    showcase_registry,
+    showcase_spec_files,
     spec_files,
 )
 from .registry import (
@@ -40,6 +44,7 @@ __all__ = [
     "Motion",
     "Placement",
     "SEED_STRIDE",
+    "SHOWCASE_SPEC_DIR",
     "SPEC_DIR",
     "ScenarioRegistry",
     "ScenarioSpec",
@@ -48,6 +53,9 @@ __all__ = [
     "default_registry",
     "expand_grid",
     "load_builtin_specs",
+    "load_showcase_specs",
     "scenario_experiment",
+    "showcase_registry",
+    "showcase_spec_files",
     "spec_files",
 ]

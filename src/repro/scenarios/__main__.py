@@ -18,7 +18,13 @@ from __future__ import annotations
 import argparse
 import sys
 
-from .catalog import default_registry, load_builtin_specs, spec_files
+from .catalog import (
+    default_registry,
+    load_builtin_specs,
+    showcase_registry,
+    showcase_spec_files,
+    spec_files,
+)
 from .registry import DEFAULT_SEED
 from .spec import ScenarioSpec, SpecError
 
@@ -45,7 +51,7 @@ def _list_scenarios() -> int:
 
 def _validate() -> int:
     problems: list[str] = []
-    for path in spec_files():
+    for path in spec_files() + showcase_spec_files():
         try:
             spec = ScenarioSpec.from_file(path)
         except SpecError as exc:
@@ -65,6 +71,12 @@ def _validate() -> int:
             problems.append(f"registry: {exc}")
         else:
             print(f"  ok: registry loads {len(registry)} scenarios")
+        try:
+            showcase = showcase_registry()
+        except SpecError as exc:
+            problems.append(f"showcase registry: {exc}")
+        else:
+            print(f"  ok: showcase registry loads {len(showcase)} scenarios")
     for problem in problems:
         print(f"  FAIL: {problem}")
     if problems:

@@ -62,7 +62,10 @@ def profiles_from_read_log(
 
 
 def collect_sweep(
-    scene: Scene, batched: bool = True, engine: str | None = None
+    scene: Scene,
+    batched: bool = True,
+    engine: str | None = None,
+    physics_backend: object | None = None,
 ) -> SweepResult:
     """Simulate ``scene`` and return profiles plus the raw read log.
 
@@ -74,11 +77,19 @@ def collect_sweep(
     ``engine`` selects the sweep implementation (``"fused"`` two-phase
     engine by default, ``"round"`` for the per-round batched kernel,
     ``"scalar"`` for the read-at-a-time reference loop); ``batched=False`` is
-    the back-compat spelling of ``engine="scalar"``.  All engines produce
-    bit-identical results — the knobs exist for benchmarking and equivalence
-    testing.
+    the back-compat spelling of ``engine="scalar"``.  ``physics_backend``
+    selects how the fused engine's physics phase executes (``"serial"``,
+    ``"threads"``, ``"process"``, or an instance — see
+    :mod:`repro.rfid.backends`); ``None`` defers to the
+    ``REPRO_PHYSICS_BACKEND`` environment variable.  All engines and all
+    backends produce bit-identical results — the knobs exist for
+    benchmarking and equivalence testing.
     """
-    reader = RFIDReader(config=scene.reader_config, protocol=scene.protocol)
+    reader = RFIDReader(
+        config=scene.reader_config,
+        protocol=scene.protocol,
+        physics_backend=physics_backend,
+    )
     read_log = reader.sweep(
         tags=scene.tags,
         antenna_position=scene.scenario.antenna_position,
