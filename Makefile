@@ -16,6 +16,10 @@
 #   make bench-streaming
 #                     time streaming ingest throughput + provisional-ordering
 #                     latency and write BENCH_streaming.json
+#   make bench-service
+#                     drive the fleet service with mixed portal traffic across
+#                     a 1/8/64/256 session-count ladder and write
+#                     BENCH_service.json
 #   make check-speedups
 #                     assert floors on the speedups recorded in BENCH_*.json
 #   make bench-accuracy
@@ -40,8 +44,8 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 .PHONY: test unit bench-smoke bench-dtw bench-experiments bench-sweep \
-	bench-streaming check-speedups bench-accuracy check-accuracy \
-	check-scenarios scenario-smoke bench-report examples
+	bench-streaming bench-service check-speedups bench-accuracy \
+	check-accuracy check-scenarios scenario-smoke bench-report examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -66,6 +70,9 @@ bench-sweep:
 
 bench-streaming:
 	$(PYTHON) benchmarks/bench_streaming.py
+
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py
 
 check-speedups:
 	$(PYTHON) benchmarks/check_speedups.py

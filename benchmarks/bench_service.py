@@ -1,0 +1,294 @@
+"""Fleet-service load harness: session-count scaling under mixed traffic.
+
+Drives :class:`repro.service.FleetService` with a load generator that replays
+mixed portal traffic — the three leaderboard workload templates (library
+shelf, airport baggage, warehouse conveyor) round-robined across N concurrent
+portals — and records, per session count:
+
+* **aggregate throughput** — total reads/second through the fleet's queued
+  ingest path, producers to finalized sessions;
+* **per-session provisional latency** — p95 of mid-stream
+  :meth:`FleetService.provisional` refreshes sampled across portals;
+* **bit-identity** — for each unique traffic template, the fleet-served final
+  orderings must equal a standalone :class:`LocalizationSession` fed the same
+  batches.  A fleet that drops or reorders under load is not fast, it is
+  wrong, so the harness exits non-zero on divergence.
+
+The default ladder (``--session-counts 1 8 64 256``) is the scaling curve the
+paper's deployment story implies: one service instance multiplexing hundreds
+of portals.  CI runs a reduced smoke and gates the committed snapshot via
+``benchmarks/check_speedups.py --only service``.
+
+Run with:
+  PYTHONPATH=src python benchmarks/bench_service.py [--session-counts 1 8 64 256]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import threading
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+
+import numpy as np
+
+from repro.bench.store import record_run
+from repro.scenarios.registry import DEFAULT_SEED, SEED_STRIDE
+from repro.service import FleetConfig, FleetService, LocalizationSession
+from repro.simulation import (
+    collect_sweep,
+    standard_antenna_moving_scene,
+    standard_tag_moving_scene,
+)
+from repro.workloads import MORNING_PEAK, baggage_batch, conveyor_batch, conveyor_scene
+from repro.workloads.library import generate_bookshelf
+
+SEED = DEFAULT_SEED
+BATCH_READS = 128
+
+
+def _template_traffic() -> list[dict]:
+    """The three leaderboard workload templates as replayable batch lists.
+
+    Seeds follow the leaderboard convention: ``DEFAULT_SEED + SEED_STRIDE *
+    scenario_index`` for the legacy trio (library=0, airport=1, warehouse=2).
+    """
+    library_seed = SEED + SEED_STRIDE * 0
+    shelf = generate_bookshelf(levels=1, books_per_level=10, seed=library_seed)
+    library_tags = shelf.to_tags(seed=library_seed)
+    library_scene = standard_antenna_moving_scene(library_tags, seed=library_seed)
+
+    airport_seed = SEED + SEED_STRIDE * 1
+    bag = baggage_batch(MORNING_PEAK, bag_count=8, seed=airport_seed)
+    airport_scene = standard_tag_moving_scene(bag.tags, seed=airport_seed)
+
+    warehouse_seed = SEED + SEED_STRIDE * 2
+    carton = conveyor_batch(batch_index=0, seed=warehouse_seed)
+    warehouse_scene = conveyor_scene(carton, seed=warehouse_seed)
+
+    templates = []
+    for name, tags, scene in (
+        ("library", library_tags, library_scene),
+        ("airport", bag.tags, airport_scene),
+        ("warehouse", carton.tags, warehouse_scene),
+    ):
+        sweep = collect_sweep(scene)
+        templates.append(
+            {
+                "name": name,
+                "channel": scene.reader_config.channel.channel_index,
+                "tag_ids": tags.ids(),
+                "batches": list(sweep.read_log.iter_batches(BATCH_READS)),
+            }
+        )
+    return templates
+
+
+def _standalone_final(template: dict):
+    session = LocalizationSession(
+        expected_tag_ids=template["tag_ids"], channel_index=template["channel"]
+    )
+    for batch in template["batches"]:
+        session.ingest_batch(batch)
+    return session.finalize()
+
+
+def run_fleet(
+    templates: list[dict],
+    session_count: int,
+    producer_count: int,
+    worker_count: int,
+    expected_finals: dict[str, object],
+) -> dict:
+    """Replay mixed traffic across ``session_count`` portals; measure."""
+    config = FleetConfig(
+        queue_capacity=32,
+        shed_policy="block",
+        worker_count=worker_count,
+        block_poll_s=0.01,
+    )
+    latencies: list[float] = []
+    latency_lock = threading.Lock()
+    total_reads = 0
+    identical = True
+
+    with FleetService(config) as fleet:
+        keys = []
+        for index in range(session_count):
+            template = templates[index % len(templates)]
+            key = fleet.open_portal(
+                f"facility-{template['name']}",
+                f"portal-{index:03d}",
+                expected_tag_ids=template["tag_ids"],
+                channel_index=template["channel"],
+            )
+            keys.append((key, template))
+            total_reads += sum(len(batch) for batch in template["batches"])
+
+        rounds = max(len(t["batches"]) for t in templates)
+        sample_every = max(1, rounds // 4)
+
+        def produce(producer_index: int) -> None:
+            # Each producer drives a stride of portals round-robin so reads
+            # from many portals interleave, as live reader traffic would.
+            mine = keys[producer_index::producer_count]
+            for round_index in range(rounds):
+                for key, template in mine:
+                    batches = template["batches"]
+                    if round_index < len(batches):
+                        fleet.ingest(key, batches[round_index])
+                if round_index and round_index % sample_every == 0:
+                    key, _ = mine[round_index % len(mine)]
+                    update = fleet.provisional(key)
+                    with latency_lock:
+                        latencies.append(update.elapsed_s)
+
+        started = time.perf_counter()
+        producers = [
+            threading.Thread(target=produce, args=(i,))
+            for i in range(min(producer_count, session_count))
+        ]
+        for thread in producers:
+            thread.start()
+        for thread in producers:
+            thread.join()
+        finals = {key: fleet.finalize(key) for key, _ in keys}
+        elapsed = time.perf_counter() - started
+
+        for key, template in keys:
+            final = finals[key]
+            expected = expected_finals[template["name"]]
+            if (
+                final.result.x_ordering != expected.result.x_ordering
+                or final.result.y_ordering != expected.result.y_ordering
+                or final.reads_ingested != expected.reads_ingested
+            ):
+                identical = False
+        stats = fleet.stats()
+
+    latency_p95 = float(np.percentile(latencies, 95)) if latencies else None
+    summary = {
+        "session_count": session_count,
+        "elapsed_s": elapsed,
+        "reads": total_reads,
+        "aggregate_reads_per_s": total_reads / max(elapsed, 1e-9),
+        "provisional_latency_s_p95": latency_p95,
+        "shed_reads": stats.shed_reads,
+        "results_bit_identical": identical,
+    }
+    p95_ms = "n/a" if latency_p95 is None else f"{latency_p95 * 1e3:.2f} ms"
+    print(
+        f"  {session_count:4d} sessions: {total_reads:7d} reads in "
+        f"{elapsed:6.2f} s = {summary['aggregate_reads_per_s']:10,.0f} reads/s | "
+        f"provisional p95 {p95_ms} | shed {stats.shed_reads} | "
+        f"bit-identical {identical}"
+    )
+    return summary
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--session-counts", type=int, nargs="+", default=[1, 8, 64, 256],
+        help="session-count ladder for the scaling curve (default 1 8 64 256)",
+    )
+    parser.add_argument(
+        "--producers", type=int, default=8,
+        help="concurrent producer threads replaying traffic (default 8)",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="fleet worker-pool size (default 4)",
+    )
+    parser.add_argument("--out", type=Path, default=Path("BENCH_service.json"))
+    parser.add_argument(
+        "--history", type=Path, default=Path("BENCH_HISTORY.jsonl"),
+        help="append-only ledger for this run's rows (smoke runs pass a scratch path)",
+    )
+    parser.add_argument("--no-history", action="store_true")
+    args = parser.parse_args()
+
+    cpu_count = os.cpu_count() or 1
+    print(
+        f"fleet load harness: {len(args.session_counts)}-point ladder "
+        f"{args.session_counts} | {args.producers} producers, "
+        f"{args.workers} workers | {cpu_count} cores"
+    )
+    templates = _template_traffic()
+    expected_finals = {t["name"]: _standalone_final(t) for t in templates}
+    for template in templates:
+        reads = sum(len(b) for b in template["batches"])
+        print(
+            f"  template {template['name']}: {len(template['batches'])} "
+            f"batches, {reads} reads"
+        )
+
+    # Warm code paths (imports, reference profile, numpy kernels).
+    run_fleet(templates, 1, args.producers, args.workers, expected_finals)
+
+    sessions = {}
+    for count in args.session_counts:
+        sessions[str(count)] = run_fleet(
+            templates, count, args.producers, args.workers, expected_finals
+        )
+
+    max_sessions = max(args.session_counts)
+    headline = sessions[str(max_sessions)]
+    identical = all(row["results_bit_identical"] for row in sessions.values())
+
+    payload = {
+        "generated_at": datetime.now(timezone.utc).isoformat(timespec="seconds"),
+        "platform": platform.platform(),
+        "seed": SEED,
+        "cpu_count": cpu_count,
+        "producers": args.producers,
+        "workers": args.workers,
+        "sessions": sessions,
+        # Headline fields (the acceptance criteria): the largest run.
+        "max_sessions": max_sessions,
+        "aggregate_reads_per_s": headline["aggregate_reads_per_s"],
+        "provisional_latency_s_p95": headline["provisional_latency_s_p95"],
+        "results_bit_identical": identical,
+        # Floors only apply where parallel dispatch can show up at all.
+        "parallel_conclusive": cpu_count > 1,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if not args.no_history:
+        rows = record_run(
+            source="bench_service",
+            metrics={
+                "max_sessions": max_sessions,
+                "aggregate_reads_per_s": payload["aggregate_reads_per_s"],
+                "provisional_latency_s_p95": payload["provisional_latency_s_p95"],
+                "results_bit_identical": identical,
+                "sessions": {
+                    count: {
+                        "aggregate_reads_per_s": row["aggregate_reads_per_s"],
+                    }
+                    for count, row in sessions.items()
+                },
+            },
+            scale={
+                "session_counts": args.session_counts,
+                "producers": args.producers,
+                "workers": args.workers,
+                "cpu_count": cpu_count,
+            },
+            history=args.history,
+            timestamp=payload["generated_at"],
+            platform=payload["platform"],
+        )
+        print(f"appended {len(rows)} history rows to {args.history}")
+
+    if not identical:
+        raise SystemExit("fleet finals diverged from standalone sessions")
+
+
+if __name__ == "__main__":
+    main()

@@ -25,7 +25,15 @@ engine's recorded win fails the build instead of silently shipping:
                                 comparable;
 * ``BENCH_streaming.json``    — the streaming session must ingest at least
                                 10k reads/s, and its final orderings must be
-                                bit-identical to the batch pipeline's.
+                                bit-identical to the batch pipeline's;
+* ``BENCH_service.json``      — the fleet service must have been exercised at
+                                the acceptance scale (>= 64 concurrent
+                                sessions) with every fleet-served final
+                                bit-identical to its standalone session; the
+                                aggregate-throughput floor applies only when
+                                the record marks the host multi-core (queued
+                                dispatch on one core measures queueing, not
+                                capacity).
 
 Every file also has to carry ``results_bit_identical: true`` where the field
 exists: a speedup from an engine that changed the results is not a speedup.
@@ -210,6 +218,36 @@ def check_streaming(path: Path, floor: float) -> None:
         print(f"  info: provisional-ordering latency mean {float(latency) * 1e3:.2f} ms/round")
 
 
+def check_service(path: Path, floor: float, min_sessions: int) -> None:
+    print(f"fleet service ({path}):")
+    payload = _load(path, "service")
+    if payload is None:
+        return
+    max_sessions = int(payload["max_sessions"])
+    _require(
+        max_sessions >= min_sessions,
+        f"fleet exercised at {max_sessions} sessions >= {min_sessions}",
+    )
+    _require(
+        bool(payload.get("results_bit_identical")),
+        "fleet-served finals bit-identical to standalone sessions",
+    )
+    latency = payload.get("provisional_latency_s_p95")
+    if latency is not None:
+        print(f"  info: provisional latency p95 {float(latency) * 1e3:.2f} ms at {max_sessions} sessions")
+    if not payload.get("parallel_conclusive", payload.get("cpu_count", 1) > 1):
+        print(
+            "  skip: aggregate throughput inconclusive "
+            f"(cpu_count={payload.get('cpu_count')}) — no service floor applied"
+        )
+        return
+    reads_per_s = float(payload["aggregate_reads_per_s"])
+    _require(
+        reads_per_s >= floor,
+        f"aggregate fleet throughput {reads_per_s:,.0f} reads/s >= {floor:,.0f} reads/s",
+    )
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--sweep", type=Path, default=Path("BENCH_sweep.json"))
@@ -259,7 +297,21 @@ def main() -> None:
         "(default 10000, the acceptance floor)",
     )
     parser.add_argument(
-        "--only", choices=("sweep", "dtw", "experiments", "streaming"),
+        "--service", type=Path, default=Path("BENCH_service.json")
+    )
+    parser.add_argument(
+        "--service-floor", type=float, default=10_000.0,
+        help="minimum aggregate fleet throughput in reads/s at the largest "
+        "session count, applied only when the record marks the host "
+        "multi-core (default 10000; smoke runs pass a lower one)",
+    )
+    parser.add_argument(
+        "--service-min-sessions", type=int, default=64,
+        help="minimum session count the record must have exercised "
+        "(default 64, the acceptance scale; smoke runs pass a lower one)",
+    )
+    parser.add_argument(
+        "--only", choices=("sweep", "dtw", "experiments", "streaming", "service"),
         default=None,
         help="check a single record instead of all of them",
     )
@@ -278,6 +330,8 @@ def main() -> None:
         )
     if args.only in (None, "streaming"):
         check_streaming(args.streaming, args.streaming_floor)
+    if args.only in (None, "service"):
+        check_service(args.service, args.service_floor, args.service_min_sessions)
 
     if FAILURES:
         print(f"\n{len(FAILURES)} speedup floor(s) violated")

@@ -225,6 +225,24 @@ SNAPSHOT_SCHEMAS: dict[str, SnapshotSchema] = {
             "provisional_latency_s_mean",
         ),
     ),
+    "service": SnapshotSchema(
+        required={
+            "generated_at": str,
+            "platform": str,
+            "seed": _NUMBER,
+            "cpu_count": _NUMBER,
+            "sessions": dict,
+            "max_sessions": _NUMBER,
+            "aggregate_reads_per_s": _NUMBER,
+            "results_bit_identical": bool,
+        },
+        numeric_paths=(
+            "cpu_count",
+            "max_sessions",
+            "aggregate_reads_per_s",
+            "provisional_latency_s_p95",
+        ),
+    ),
     "accuracy": SnapshotSchema(
         required={
             "generated_at": str,

@@ -5,11 +5,44 @@ algorithm and :mod:`repro.evaluation` the offline harness, this package is
 the long-running entry point a deployment would embed — ingest reads as the
 reader reports them, emit provisional orderings mid-sweep, converge to the
 exact batch result when the sweep completes.  See ``docs/streaming.md``.
+
+Two tiers:
+
+* :class:`LocalizationSession` — one portal's stream (PR 4);
+* :class:`FleetService` — many concurrent portals multiplexed behind bounded
+  queues with shed policies, fault quarantine, and a shared facility-keyed
+  :class:`ProfileCacheRegistry` (see ``docs/service.md``).
 """
 
+from .cache import ProfileCacheRegistry
+from .fleet import (
+    FleetConfig,
+    FleetError,
+    FleetService,
+    FleetStats,
+    PortalKey,
+    PortalOverloadError,
+    PortalQuarantinedError,
+    PortalStateError,
+    PortalStats,
+    SHED_POLICIES,
+    UnknownPortalError,
+)
 from .session import LocalizationSession, StreamingUpdate
 
 __all__ = [
+    "FleetConfig",
+    "FleetError",
+    "FleetService",
+    "FleetStats",
     "LocalizationSession",
+    "PortalKey",
+    "PortalOverloadError",
+    "PortalQuarantinedError",
+    "PortalStateError",
+    "PortalStats",
+    "ProfileCacheRegistry",
+    "SHED_POLICIES",
     "StreamingUpdate",
+    "UnknownPortalError",
 ]

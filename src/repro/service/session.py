@@ -43,6 +43,7 @@ from ..core.vzone import VZone
 from ..evaluation.metrics import ordering_agreement
 from ..rfid.reading import ReadBatch, TagRead
 from ..simulation.streaming import StreamingCollector
+from .cache import ProfileCacheRegistry
 
 
 @dataclass(frozen=True)
@@ -117,6 +118,17 @@ class LocalizationSession:
         timestamp precedes its tag's latest.  Reordering is deterministic
         (stable sort by timestamp, matching the batch path) but rebuilds the
         affected tag's incremental state.
+    profile_cache:
+        Optional shared :class:`~repro.service.cache.ProfileCacheRegistry`.
+        When given, the session's reference profile comes from the registry
+        (keyed by ``facility_id`` and the config's reference parameters)
+        instead of being built per session — many sessions of one facility
+        then share a single immutable template.  Reference construction is
+        deterministic, so results are bit-identical either way; sharing only
+        removes redundant builds.  Omitted, the session falls back to the
+        process-wide :func:`~repro.core.reference.shared_canonical_reference`.
+    facility_id:
+        The cache key namespace for ``profile_cache`` (ignored without one).
     """
 
     def __init__(
@@ -126,6 +138,8 @@ class LocalizationSession:
         pivot_tag_id: str | None = None,
         channel_index: int | None = None,
         out_of_order: str = "reorder",
+        profile_cache: "ProfileCacheRegistry | None" = None,
+        facility_id: str = "default",
     ) -> None:
         config = config if config is not None else STPPConfig()
         if config.detection_method != "segmented_dtw":
@@ -136,7 +150,13 @@ class LocalizationSession:
                 "BatchLocalizer instead"
             )
         self.config = config
-        self._localizer = STPPLocalizer(config)
+        self.facility_id = facility_id
+        reference = (
+            None
+            if profile_cache is None
+            else profile_cache.reference_for(facility_id, config)
+        )
+        self._localizer = STPPLocalizer(config, reference=reference)
         self._detector = self._localizer.detector
         self._expected = None if expected_tag_ids is None else list(expected_tag_ids)
         self._pivot_tag_id = pivot_tag_id

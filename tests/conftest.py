@@ -2,6 +2,14 @@
 
 from __future__ import annotations
 
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow: full-scale stress/regression tests (CI smoke runs their "
+        "reduced-scale twins; deselect with -m 'not slow')",
+    )
+
 import numpy as np
 import pytest
 

@@ -1,0 +1,273 @@
+"""Fault injection against the fleet service: quarantine and shed policies.
+
+What must hold when things go wrong:
+
+* a session that raises mid-stream (injected via the fleet's
+  ``session_factory`` seam: its aligner blows up during ingestion)
+  quarantines **only its portal** — siblings keep ingesting and finalize
+  bit-identically to standalone sessions;
+* each shed policy does exactly what it says under a full queue: ``reject``
+  raises :class:`PortalOverloadError`, ``drop_oldest`` sheds and counts,
+  ``block`` backpressures the producer and never drops;
+* double-finalize and ingest-after-finalize raise cleanly (no hangs, no
+  corrupted state).
+
+Worker pools are paused (``FleetService.pause``) where queue-full behaviour
+must be deterministic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.rfid.reading import ReadBatch
+from repro.service import (
+    FleetConfig,
+    FleetService,
+    LocalizationSession,
+    PortalOverloadError,
+    PortalQuarantinedError,
+    PortalStateError,
+)
+
+
+def _batches(stream_index: int, rounds: int = 6, reads: int = 12) -> list[ReadBatch]:
+    rng = np.random.default_rng(4000 + stream_index)
+    out = []
+    start = 0.0
+    for round_index in range(rounds):
+        times = start + np.sort(rng.uniform(0.0, 0.05, reads))
+        start += 0.06
+        out.append(
+            ReadBatch(
+                timestamps_s=times,
+                tag_ids=tuple(
+                    f"S{stream_index}-{int(i)}" for i in rng.integers(0, 2, reads)
+                ),
+                phases_rad=rng.uniform(0.0, 2.0 * np.pi, reads),
+                rssi_dbm=rng.uniform(-70.0, -40.0, reads),
+                channel_index=6,
+                round_index=round_index,
+            )
+        )
+    return out
+
+
+def _standalone_final(batches):
+    session = LocalizationSession(channel_index=6)
+    for batch in batches:
+        session.ingest_batch(batch)
+    return session.finalize()
+
+
+class _AlignerExplodesSession(LocalizationSession):
+    """A session whose (simulated) aligner dies after N ingested batches."""
+
+    def __init__(self, fail_after_batches: int, **kwargs):
+        kwargs.pop("facility_id", None)
+        kwargs.pop("profile_cache", None)
+        super().__init__(**kwargs)
+        self._fail_after = fail_after_batches
+
+    def ingest_batch(self, batch: ReadBatch) -> None:
+        if self.batches_ingested >= self._fail_after:
+            raise RuntimeError("aligner exploded mid-stream")
+        super().ingest_batch(batch)
+
+
+# ---------------------------------------------------------------------------
+# Quarantine isolation
+# ---------------------------------------------------------------------------
+
+
+class TestQuarantine:
+    def test_mid_stream_fault_quarantines_only_that_portal(self):
+        """The faulty portal is quarantined; both siblings keep ingesting and
+        finalize bit-identically to standalone sessions."""
+
+        def factory(key, **kwargs):
+            if key.portal_id == "bad":
+                return _AlignerExplodesSession(fail_after_batches=2, **kwargs)
+            kwargs.pop("facility_id", None)
+            kwargs.pop("profile_cache", None)
+            return LocalizationSession(**kwargs)
+
+        traffic = {name: _batches(i) for i, name in enumerate(["good-1", "bad", "good-2"])}
+        config = FleetConfig(worker_count=2, session_factory=factory)
+        with FleetService(config) as fleet:
+            keys = {
+                name: fleet.open_portal("facility", name, channel_index=6)
+                for name in traffic
+            }
+            # Interleave: the fault fires on the bad portal's third batch,
+            # while the good portals are still mid-stream.
+            for round_index in range(6):
+                for name, batches in traffic.items():
+                    try:
+                        fleet.ingest(keys[name], batches[round_index])
+                    except PortalQuarantinedError:
+                        assert name == "bad"
+
+            with pytest.raises(PortalQuarantinedError) as excinfo:
+                fleet.finalize(keys["bad"])
+            assert "aligner exploded" in str(excinfo.value.__cause__)
+            assert isinstance(fleet.portal_error(keys["bad"]), RuntimeError)
+
+            for name in ("good-1", "good-2"):
+                final = fleet.finalize(keys[name])
+                expected = _standalone_final(traffic[name])
+                assert final.result.x_ordering == expected.result.x_ordering
+                assert final.result.y_ordering == expected.result.y_ordering
+                assert final.reads_ingested == expected.reads_ingested
+
+            stats = fleet.stats()
+            assert stats.sessions["quarantined"] == 1
+            assert stats.sessions["finalized"] == 2
+            # Ingest after quarantine raises, carrying the original error.
+            with pytest.raises(PortalQuarantinedError):
+                fleet.ingest(keys["bad"], traffic["bad"][0])
+
+    def test_provisional_failure_quarantines(self):
+        class ProvisionalExplodes(LocalizationSession):
+            def provisional(self):
+                raise RuntimeError("refresh died")
+
+        def factory(key, **kwargs):
+            kwargs.pop("facility_id", None)
+            kwargs.pop("profile_cache", None)
+            return ProvisionalExplodes(**kwargs)
+
+        with FleetService(FleetConfig(worker_count=1, session_factory=factory)) as fleet:
+            key = fleet.open_portal("f", "p", channel_index=6)
+            fleet.ingest(key, _batches(0, rounds=1)[0])
+            with pytest.raises(PortalQuarantinedError):
+                fleet.provisional(key)
+            assert fleet.portal_stats(key).state == "quarantined"
+
+    def test_quarantined_portal_is_evictable(self):
+        def factory(key, **kwargs):
+            return _AlignerExplodesSession(fail_after_batches=0, **kwargs)
+
+        with FleetService(FleetConfig(worker_count=1, session_factory=factory)) as fleet:
+            key = fleet.open_portal("f", "p", channel_index=6)
+            fleet.ingest(key, _batches(0, rounds=1)[0])
+            deadline = time.monotonic() + 5.0
+            while (
+                fleet.portal_stats(key).state != "quarantined"
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.01)
+            assert fleet.portal_stats(key).state == "quarantined"
+            fleet.evict(key)
+            assert key not in fleet.portal_keys()
+
+
+# ---------------------------------------------------------------------------
+# Shed policies under a full queue
+# ---------------------------------------------------------------------------
+
+
+class TestShedPolicies:
+    def test_reject_raises_and_counts(self):
+        batches = _batches(0, rounds=4)
+        with FleetService(FleetConfig(worker_count=1, queue_capacity=2)) as fleet:
+            fleet.pause()
+            key = fleet.open_portal("f", "p", channel_index=6, shed_policy="reject")
+            fleet.ingest(key, batches[0])
+            fleet.ingest(key, batches[1])
+            with pytest.raises(PortalOverloadError, match="queue full"):
+                fleet.ingest(key, batches[2])
+            snap = fleet.portal_stats(key)
+            assert snap.shed_batches == 1
+            assert snap.shed_reads == len(batches[2])
+            assert snap.queue_depth == 2
+            # An overload is not a fault: the portal stays open and, once
+            # drained, still matches a standalone session fed what it kept.
+            fleet.resume()
+            final = fleet.finalize(key)
+            expected = _standalone_final(batches[:2])
+            assert final.result.x_ordering == expected.result.x_ordering
+            assert final.reads_ingested == expected.reads_ingested
+
+    def test_drop_oldest_sheds_and_counts(self):
+        batches = _batches(1, rounds=4)
+        with FleetService(FleetConfig(worker_count=1, queue_capacity=2)) as fleet:
+            fleet.pause()
+            key = fleet.open_portal("f", "p", channel_index=6, shed_policy="drop_oldest")
+            for batch in batches[:3]:  # third arrival evicts the first
+                fleet.ingest(key, batch)
+            snap = fleet.portal_stats(key)
+            assert snap.shed_batches == 1
+            assert snap.shed_reads == len(batches[0])
+            assert snap.queue_depth == 2
+            fleet.resume()
+            final = fleet.finalize(key)
+            # The session saw exactly the surviving suffix.
+            expected = _standalone_final(batches[1:3])
+            assert final.result.x_ordering == expected.result.x_ordering
+            assert final.reads_ingested == expected.reads_ingested
+
+    def test_block_applies_backpressure_and_never_drops(self):
+        batches = _batches(2, rounds=3)
+        config = FleetConfig(worker_count=1, queue_capacity=2, block_poll_s=0.02)
+        with FleetService(config) as fleet:
+            fleet.pause()
+            key = fleet.open_portal("f", "p", channel_index=6, shed_policy="block")
+            done = threading.Event()
+
+            def produce():
+                for batch in batches:
+                    fleet.ingest(key, batch)
+                done.set()
+
+            producer = threading.Thread(target=produce)
+            producer.start()
+            # With workers paused and capacity 2, the third ingest must block.
+            assert not done.wait(0.3), "block policy failed to backpressure"
+            assert fleet.portal_stats(key).queue_depth == 2
+            fleet.resume()
+            producer.join(timeout=10.0)
+            assert not producer.is_alive()
+            final = fleet.finalize(key)
+            snap = fleet.portal_stats(key)
+            assert snap.shed_batches == 0 and snap.shed_reads == 0
+            expected = _standalone_final(batches)
+            assert final.result.x_ordering == expected.result.x_ordering
+            assert final.reads_ingested == expected.reads_ingested
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle errors
+# ---------------------------------------------------------------------------
+
+
+class TestLifecycleErrors:
+    def test_double_finalize_raises_cleanly(self):
+        with FleetService(FleetConfig(worker_count=1)) as fleet:
+            key = fleet.open_portal("f", "p", channel_index=6)
+            fleet.ingest(key, _batches(3, rounds=1)[0])
+            fleet.finalize(key)
+            with pytest.raises(PortalStateError, match="already finalized"):
+                fleet.finalize(key)
+
+    def test_ingest_after_finalize_raises_cleanly(self):
+        batches = _batches(4, rounds=2)
+        with FleetService(FleetConfig(worker_count=1)) as fleet:
+            key = fleet.open_portal("f", "p", channel_index=6)
+            fleet.ingest(key, batches[0])
+            fleet.finalize(key)
+            with pytest.raises(PortalStateError, match="finalized"):
+                fleet.ingest(key, batches[1])
+            # The recorded final result is unaffected by the failed ingest.
+            assert fleet.portal_stats(key).state == "finalized"
+
+    def test_provisional_after_finalize_raises_cleanly(self):
+        with FleetService(FleetConfig(worker_count=1)) as fleet:
+            key = fleet.open_portal("f", "p", channel_index=6)
+            fleet.finalize(key)
+            with pytest.raises(PortalStateError):
+                fleet.provisional(key)

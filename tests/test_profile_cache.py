@@ -1,0 +1,216 @@
+"""Property tests for the facility-keyed reference-profile cache.
+
+Three contracts of :class:`~repro.service.ProfileCacheRegistry`:
+
+* eviction respects capacity and strict LRU order (checked against a model);
+* concurrent get-or-build from many threads builds each key exactly once and
+  every caller receives the *same* fully-constructed object (no duplicate
+  construction, no torn publication);
+* facility isolation — the same reference configuration under two facility
+  ids yields two distinct entries.
+
+Plus the PR's session regression: two :class:`LocalizationSession`\\ s sharing
+a registry never rebuild the same facility's profile, and a cache-served
+session finalizes bit-identically to a cache-less one.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+
+import numpy as np
+import pytest
+
+from repro.core import BatchLocalizer, STPPConfig
+from repro.service import LocalizationSession, ProfileCacheRegistry
+from repro.simulation.collector import profiles_from_read_log
+
+
+# ---------------------------------------------------------------------------
+# LRU eviction
+# ---------------------------------------------------------------------------
+
+
+class TestLRUEviction:
+    def test_capacity_is_enforced_in_lru_order(self):
+        registry = ProfileCacheRegistry(capacity=3)
+        for name in "abcd":
+            registry.get_or_build(name, lambda name=name: name.upper())
+        # "a" was least recently used when "d" arrived.
+        assert registry.keys() == ("b", "c", "d")
+        assert "a" not in registry
+        assert registry.stats()["evictions"] == 1
+
+    def test_hit_promotes_to_most_recently_used(self):
+        registry = ProfileCacheRegistry(capacity=3)
+        for name in "abc":
+            registry.get_or_build(name, lambda name=name: name.upper())
+        registry.get_or_build("a", lambda: pytest.fail("must be a hit"))
+        registry.get_or_build("d", lambda: "D")  # evicts "b", not "a"
+        assert registry.keys() == ("c", "a", "d")
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError, match="capacity"):
+            ProfileCacheRegistry(capacity=0)
+
+    def test_random_op_sequence_matches_lru_model(self):
+        """Property: the registry's contents and eviction order always equal
+        an OrderedDict-based LRU model under a random get-or-build stream."""
+        rng = np.random.default_rng(2015)
+        capacity = 4
+        registry = ProfileCacheRegistry(capacity=capacity)
+        model: "OrderedDict[int, str]" = OrderedDict()
+        for step in range(400):
+            key = int(rng.integers(0, 10))
+            value = registry.get_or_build(key, lambda key=key: f"built-{key}")
+            assert value == f"built-{key}"
+            if key in model:
+                model.move_to_end(key)
+            else:
+                model[key] = value
+                while len(model) > capacity:
+                    model.popitem(last=False)
+            assert registry.keys() == tuple(model), f"diverged at step {step}"
+
+    def test_clear_preserves_counters(self):
+        registry = ProfileCacheRegistry(capacity=2)
+        registry.get_or_build("a", lambda: 1)
+        registry.clear()
+        assert len(registry) == 0
+        assert registry.stats()["builds"] == 1
+
+
+# ---------------------------------------------------------------------------
+# Concurrent build-once
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrentGetOrBuild:
+    def test_each_key_built_exactly_once_across_threads(self):
+        registry = ProfileCacheRegistry(capacity=16)
+        keys = ["k0", "k1", "k2", "k3"]
+        build_counts = {key: 0 for key in keys}
+        count_lock = threading.Lock()
+        barrier = threading.Barrier(16)
+        results: dict[int, object] = {}
+
+        def build(key: str) -> object:
+            with count_lock:
+                build_counts[key] += 1
+            time.sleep(0.01)  # widen the duplicate-construction window
+            return object()
+
+        def worker(index: int) -> None:
+            barrier.wait()
+            key = keys[index % len(keys)]
+            results[index] = registry.get_or_build(key, lambda: build(key))
+
+        threads = [threading.Thread(target=worker, args=(i,)) for i in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=10.0)
+            assert not thread.is_alive()
+
+        assert build_counts == {key: 1 for key in keys}
+        assert registry.stats()["builds"] == len(keys)
+        # No torn publication: every caller of a key got the identical object.
+        for index, value in results.items():
+            expected = registry.get_or_build(keys[index % len(keys)], object)
+            assert value is expected
+
+    def test_builder_failure_is_not_cached_and_releases_waiters(self):
+        registry = ProfileCacheRegistry(capacity=4)
+        attempts = {"count": 0}
+
+        def flaky() -> str:
+            attempts["count"] += 1
+            if attempts["count"] == 1:
+                raise RuntimeError("first build fails")
+            return "ok"
+
+        with pytest.raises(RuntimeError, match="first build fails"):
+            registry.get_or_build("k", flaky)
+        assert "k" not in registry
+        assert registry.get_or_build("k", flaky) == "ok"
+        assert attempts["count"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Facility isolation
+# ---------------------------------------------------------------------------
+
+
+class TestFacilityIsolation:
+    def test_same_layout_in_two_facilities_is_two_entries(self):
+        registry = ProfileCacheRegistry(capacity=8)
+        config = STPPConfig()
+        ref_a = registry.reference_for("facility-a", config)
+        ref_b = registry.reference_for("facility-b", config)
+        assert registry.stats()["builds"] == 2
+        assert len(registry) == 2
+        assert ref_a is not ref_b
+        # Identical parameters build identical (deterministic) profiles —
+        # isolation costs nothing in correctness.
+        assert np.array_equal(
+            ref_a.profile.phases_rad, ref_b.profile.phases_rad
+        )
+
+    def test_same_facility_is_one_entry(self):
+        registry = ProfileCacheRegistry(capacity=8)
+        config = STPPConfig()
+        ref_1 = registry.reference_for("facility-a", config)
+        ref_2 = registry.reference_for("facility-a", config)
+        assert ref_1 is ref_2
+        assert registry.stats()["builds"] == 1
+        assert registry.stats()["hits"] == 1
+
+    def test_distinct_reference_parameters_are_distinct_entries(self):
+        registry = ProfileCacheRegistry(capacity=8)
+        registry.reference_for("f", STPPConfig())
+        registry.reference_for("f", STPPConfig(reference_periods=6))
+        assert registry.stats()["builds"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Session integration (the PR's single-session-assumption regression)
+# ---------------------------------------------------------------------------
+
+
+class TestSessionsShareCache:
+    def test_two_sessions_never_rebuild_the_same_facility_profile(self):
+        registry = ProfileCacheRegistry(capacity=8)
+        LocalizationSession(profile_cache=registry, facility_id="library-north")
+        LocalizationSession(profile_cache=registry, facility_id="library-north")
+        stats = registry.stats()
+        assert stats["builds"] == 1
+        assert stats["hits"] == 1
+
+    def test_cache_served_session_is_bit_identical(self, small_row_sweep):
+        tags, scene, sweep = small_row_sweep
+        channel = scene.reader_config.channel.channel_index
+        registry = ProfileCacheRegistry(capacity=8)
+
+        def run(**session_kwargs):
+            session = LocalizationSession(
+                expected_tag_ids=tags.ids(), channel_index=channel, **session_kwargs
+            )
+            for batch in sweep.read_log.iter_batches(100):
+                session.ingest_batch(batch)
+            return session.finalize()
+
+        plain = run()
+        cached = run(profile_cache=registry, facility_id="f")
+        assert cached.result.x_ordering == plain.result.x_ordering
+        assert cached.result.y_ordering == plain.result.y_ordering
+
+        # And both equal the batch pipeline (the PR-4 convergence contract
+        # survives reference injection).
+        batch_result = BatchLocalizer(STPPConfig()).localize(
+            profiles_from_read_log(sweep.read_log, channel_index=channel),
+            expected_tag_ids=tags.ids(),
+        )
+        assert cached.result.x_ordering == batch_result.x_ordering
+        assert cached.result.y_ordering == batch_result.y_ordering
