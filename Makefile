@@ -28,6 +28,13 @@
 #   make check-accuracy
 #                     assert the pinned accuracy floors and the paper's scheme
 #                     ordering on BENCH_accuracy.json
+#   make bench-robustness
+#                     score the five schemes on the legacy trio under the
+#                     fault ladders (loss/corruption/reorder) and write
+#                     BENCH_robustness.json (+ history rows)
+#   make check-robustness
+#                     assert zero-fault pass-through and the per-rung
+#                     STPP-vs-baseline floors on BENCH_robustness.json
 #   make check-scenarios
 #                     strict-parse + round-trip every committed scenario spec
 #                     (src/repro/scenarios/specs/*.json)
@@ -45,7 +52,8 @@ export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH),)
 
 .PHONY: test unit bench-smoke bench-dtw bench-experiments bench-sweep \
 	bench-streaming bench-service check-speedups bench-accuracy \
-	check-accuracy check-scenarios scenario-smoke bench-report examples
+	check-accuracy bench-robustness check-robustness check-scenarios \
+	scenario-smoke bench-report examples
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -82,6 +90,12 @@ bench-accuracy:
 
 check-accuracy:
 	$(PYTHON) benchmarks/check_accuracy.py
+
+bench-robustness:
+	$(PYTHON) benchmarks/bench_robustness.py
+
+check-robustness:
+	$(PYTHON) benchmarks/check_robustness.py
 
 check-scenarios:
 	$(PYTHON) -m repro.scenarios --validate

@@ -1,0 +1,98 @@
+"""A fault-armed fleet portal: degraded feed, dedupe ingest, graded trust.
+
+Streams one small library shelf sweep through two portals of a
+:class:`~repro.service.FleetService`: a clean one, and one armed with a
+declarative :class:`~repro.faults.FaultSpec` (read loss + duplication +
+bounded clock skew) whose seeded injector pipeline degrades the feed on
+the ingest path.  The degraded portal runs the ``"dedupe"`` policy, so
+duplicated reads are dropped at ingest and surface only through the
+stream-quality grade — the ordering itself degrades gracefully while the
+confidence says exactly how much to trust it.
+
+Also demonstrates the crash-recovery primitive the fleet's retry path is
+built on: the clean stream is cut mid-sweep, checkpointed, restored, and
+resumed — finalizing bit-identically to the uninterrupted session.
+
+Run with:  python examples/faulty_portal.py
+"""
+
+from repro.faults import FaultSpec
+from repro.service import FleetConfig, FleetService, LocalizationSession
+from repro.simulation import collect_sweep, standard_antenna_moving_scene
+from repro.workloads.library import generate_bookshelf
+
+STORM = FaultSpec.from_json(
+    {
+        "seed": 7,
+        "injectors": [
+            {"kind": "read_loss", "rate": 0.15},
+            {"kind": "duplicate", "rate": 0.10},
+            {"kind": "clock_skew", "rate": 0.20, "max_skew_s": 0.02},
+        ],
+    }
+)
+
+
+def main() -> None:
+    shelf = generate_bookshelf(levels=1, books_per_level=6, seed=7)
+    tags = shelf.to_tags(seed=7)
+    scene = standard_antenna_moving_scene(tags, seed=7)
+    batches = list(collect_sweep(scene).read_log.iter_batches(64))
+    channel = scene.reader_config.channel.channel_index
+    print(f"shelf sweep: {sum(len(b) for b in batches)} reads, "
+          f"{len(batches)} batches, profile {STORM.describe()}")
+
+    with FleetService(FleetConfig(worker_count=2)) as fleet:
+        clean = fleet.open_portal(
+            "library", "shelf-clean",
+            expected_tag_ids=tags.ids(), channel_index=channel,
+        )
+        stormy = fleet.open_portal(
+            "library", "shelf-stormy",
+            expected_tag_ids=tags.ids(), channel_index=channel,
+            fault_spec=STORM, out_of_order="dedupe",
+        )
+        for batch in batches:
+            fleet.ingest(clean, batch)
+            fleet.ingest(stormy, batch)
+
+        finals = {key: fleet.finalize(key) for key in (clean, stormy)}
+        for key, final in finals.items():
+            snap = fleet.portal_stats(key)
+            ordered = [tid[-4:] for tid in final.result.x_ordering.ordered_ids]
+            print(
+                f"  {key.portal_id:13s} {final.reads_ingested:4d} reads kept, "
+                f"{snap.faults_injected:3d} faults injected | "
+                f"quality {final.quality:.3f} confidence {final.confidence:.3f} "
+                f"-> {ordered}"
+            )
+
+    clean_order = finals[clean].result.x_ordering.ordered_ids
+    stormy_order = finals[stormy].result.x_ordering.ordered_ids
+    print(f"  degraded ordering {'matches' if stormy_order == clean_order else 'differs from'}"
+          " the clean one; the confidence grade carries the doubt")
+
+    # -- checkpoint / restore: the crash-recovery primitive ----------------
+    cut = len(batches) // 2
+    session = LocalizationSession(expected_tag_ids=tags.ids(), channel_index=channel)
+    for batch in batches[:cut]:
+        session.ingest_batch(batch)
+    payload = session.checkpoint()
+    restored = LocalizationSession.restore(payload)
+    for batch in batches[cut:]:
+        restored.ingest_batch(batch)
+    resumed = restored.finalize()
+    identical = (
+        resumed.result.x_ordering == finals[clean].result.x_ordering
+        and resumed.result.y_ordering == finals[clean].result.y_ordering
+    )
+    print(
+        f"\ncheckpointed at batch {cut}/{len(batches)} "
+        f"({len(payload)} bytes), restored, resumed: final "
+        f"{'bit-identical to' if identical else 'DIFFERS from'} the "
+        "uninterrupted run (see docs/robustness.md)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -125,6 +125,10 @@ ARTIFACTS: tuple[Artifact, ...] = (
              "Cold-chain pallet tunnel",
              "A pallet grid of crate tags riding a surging chain conveyor through a reader tunnel; exercises the generic jittered-belt builder",
              accuracy_key="cold_chain_tunnel", status="new in PR 7"),
+    Artifact("extension", "benchmarks/bench_robustness.py (gate: benchmarks/check_robustness.py; layer: src/repro/faults)",
+             "Robustness under degraded streams",
+             "Accuracy-vs-fault-rate curves for all five schemes on the legacy trio under seeded loss/corruption/reorder ladders (`BENCH_robustness.json`); the rate-0 rung runs through the full fault pipeline and must stay bit-identical, and STPP must hold within tolerance of every baseline at every rung",
+             status="new in PR 10"),
 )
 
 

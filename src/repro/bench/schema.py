@@ -243,6 +243,22 @@ SNAPSHOT_SCHEMAS: dict[str, SnapshotSchema] = {
             "provisional_latency_s_p95",
         ),
     ),
+    "robustness": SnapshotSchema(
+        required={
+            "generated_at": str,
+            "platform": str,
+            "seed": _NUMBER,
+            "schemes": list,
+            "scenarios": list,
+            "ladders": dict,
+            "zero_fault_bit_identical": bool,
+            "scale": dict,
+        },
+        numeric_paths=(
+            "stpp_min_lead",
+            "stpp_min_accuracy",
+        ),
+    ),
     "accuracy": SnapshotSchema(
         required={
             "generated_at": str,

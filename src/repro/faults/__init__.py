@@ -1,0 +1,28 @@
+"""Declarative, seeded fault injection over read-batch streams.
+
+The robustness layer of the repository (see ``docs/robustness.md``): a
+:class:`FaultSpec` describes a degradation profile as data (burst loss,
+duplication, bounded clock skew, phase/RSSI corruption, reader stall and
+disconnect windows, stream truncation), and :meth:`FaultSpec.build`
+instantiates it as a seeded :class:`FaultPipeline` of composable injectors.
+Degraded runs are exactly reproducible; with no injectors configured the
+stream passes through bit-identically.
+"""
+
+from .injectors import (
+    FaultInjector,
+    FaultPipeline,
+    apply_to_log,
+    build_pipeline,
+)
+from .spec import INJECTOR_KINDS, FaultSpec, InjectorSpec
+
+__all__ = [
+    "FaultInjector",
+    "FaultPipeline",
+    "FaultSpec",
+    "INJECTOR_KINDS",
+    "InjectorSpec",
+    "apply_to_log",
+    "build_pipeline",
+]

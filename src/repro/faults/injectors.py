@@ -1,0 +1,384 @@
+"""Seeded fault injectors: ReadBatch streams in, degraded streams out.
+
+Each injector is a small push-style transducer over the columnar read
+stream: :meth:`FaultInjector.push` takes one
+:class:`~repro.rfid.reading.ReadBatch` and returns the zero or one batches
+that survive it (zero when a whole batch is lost, e.g. a disconnect
+window).  Injectors never mutate their input — batches are rebuilt with
+fresh arrays — so the clean stream a benchmark holds on to stays clean.
+
+A :class:`FaultPipeline` chains injectors in spec order and keeps per-kind
+counters (reads dropped / duplicated / corrupted / skewed, batches
+dropped), which is how benchmarks and the fleet's ``faults_injected``
+portal counter report what was actually done to a stream.  All randomness
+comes from per-injector :func:`numpy.random.default_rng` generators seeded
+from ``(spec.seed, seed_offset, injector_index)``, so a pipeline built
+twice from the same :class:`~repro.faults.spec.FaultSpec` degrades a stream
+identically — the reproducibility contract every robustness number in
+``BENCH_robustness.json`` rests on.
+
+The push style serves the fleet's live ingest path; pull-style consumers
+(the benchmark replaying a finished log) use :meth:`FaultPipeline.apply` or
+:func:`apply_to_log`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from ..rf.constants import TWO_PI
+from ..rfid.reading import ReadBatch, ReadLog
+from .spec import FaultSpec, InjectorSpec
+
+
+def _rebuild(
+    batch: ReadBatch,
+    timestamps: np.ndarray,
+    tag_ids: tuple[str, ...],
+    phases: np.ndarray,
+    rssis: np.ndarray,
+) -> ReadBatch:
+    """A new batch with the same channel/port/round labels, new columns."""
+    return ReadBatch(
+        timestamps_s=timestamps,
+        tag_ids=tag_ids,
+        phases_rad=phases,
+        rssi_dbm=rssis,
+        channel_index=batch.channel_index,
+        antenna_port=batch.antenna_port,
+        round_index=batch.round_index,
+    )
+
+
+def _take(batch: ReadBatch, keep: np.ndarray) -> ReadBatch:
+    """The batch restricted to the reads where ``keep`` is True (order kept)."""
+    ids = tuple(
+        tag_id for tag_id, kept in zip(batch.tag_ids, keep) if kept
+    )
+    return _rebuild(
+        batch,
+        batch.timestamps_s[keep],
+        ids,
+        batch.phases_rad[keep],
+        batch.rssi_dbm[keep],
+    )
+
+
+class FaultInjector:
+    """Base class: one seeded transducer over the read-batch stream."""
+
+    def __init__(self, spec: InjectorSpec, rng: np.random.Generator) -> None:
+        self.spec = spec
+        self.kind = spec.kind
+        self._rng = rng
+        self.counters: dict[str, int] = {}
+
+    def _count(self, name: str, amount: int) -> None:
+        if amount:
+            self.counters[name] = self.counters.get(name, 0) + int(amount)
+
+    def push(self, batch: ReadBatch) -> list[ReadBatch]:
+        """Transform one batch; returns the surviving batches (0 or 1)."""
+        raise NotImplementedError
+
+    def flush(self) -> list[ReadBatch]:
+        """Release anything buffered at end of stream (none by default)."""
+        return []
+
+
+class ReadLossInjector(FaultInjector):
+    """Independent per-read loss at probability ``rate``."""
+
+    def push(self, batch: ReadBatch) -> list[ReadBatch]:
+        keep = self._rng.random(len(batch)) >= self.spec.param("rate")
+        dropped = int(len(batch) - np.count_nonzero(keep))
+        if dropped == 0:
+            return [batch]
+        self._count("reads_dropped", dropped)
+        if not np.any(keep):
+            return []
+        return [_take(batch, keep)]
+
+
+class BurstLossInjector(FaultInjector):
+    """Consecutive-read loss bursts: ``rate`` starts a burst of
+    ``min_reads..max_reads`` reads (bursts span batch boundaries)."""
+
+    def __init__(self, spec: InjectorSpec, rng: np.random.Generator) -> None:
+        super().__init__(spec, rng)
+        self._remaining = 0
+
+    def push(self, batch: ReadBatch) -> list[ReadBatch]:
+        rate = self.spec.param("rate")
+        low = int(self.spec.param("min_reads"))
+        high = int(self.spec.param("max_reads"))
+        count = len(batch)
+        triggers = self._rng.random(count)
+        keep = np.ones(count, dtype=bool)
+        for index in range(count):
+            if self._remaining > 0:
+                keep[index] = False
+                self._remaining -= 1
+            elif triggers[index] < rate:
+                keep[index] = False
+                self._remaining = int(self._rng.integers(low, high + 1)) - 1
+        dropped = int(count - np.count_nonzero(keep))
+        if dropped == 0:
+            return [batch]
+        self._count("reads_dropped", dropped)
+        if not np.any(keep):
+            return []
+        return [_take(batch, keep)]
+
+
+class DuplicateInjector(FaultInjector):
+    """Exact duplication: ``rate`` of reads are emitted twice, adjacently."""
+
+    def push(self, batch: ReadBatch) -> list[ReadBatch]:
+        dup = self._rng.random(len(batch)) < self.spec.param("rate")
+        duplicated = int(np.count_nonzero(dup))
+        if duplicated == 0:
+            return [batch]
+        self._count("reads_duplicated", duplicated)
+        repeats = np.where(dup, 2, 1)
+        ids = tuple(np.repeat(np.array(batch.tag_ids, dtype=object), repeats))
+        return [
+            _rebuild(
+                batch,
+                np.repeat(batch.timestamps_s, repeats),
+                ids,
+                np.repeat(batch.phases_rad, repeats),
+                np.repeat(batch.rssi_dbm, repeats),
+            )
+        ]
+
+
+class ClockSkewInjector(FaultInjector):
+    """Bounded timestamp skew: ``rate`` of reads shift by up to ``max_skew_s``."""
+
+    def push(self, batch: ReadBatch) -> list[ReadBatch]:
+        skew = self._rng.random(len(batch)) < self.spec.param("rate")
+        skewed = int(np.count_nonzero(skew))
+        if skewed == 0:
+            return [batch]
+        self._count("reads_skewed", skewed)
+        bound = self.spec.param("max_skew_s")
+        timestamps = batch.timestamps_s.copy()
+        timestamps[skew] = np.maximum(
+            0.0, timestamps[skew] + self._rng.uniform(-bound, bound, skewed)
+        )
+        return [
+            _rebuild(batch, timestamps, batch.tag_ids, batch.phases_rad, batch.rssi_dbm)
+        ]
+
+
+class PhaseCorruptionInjector(FaultInjector):
+    """Decoder glitches: ``rate`` of phases replaced by uniform [0, 2π) draws."""
+
+    def push(self, batch: ReadBatch) -> list[ReadBatch]:
+        corrupt = self._rng.random(len(batch)) < self.spec.param("rate")
+        corrupted = int(np.count_nonzero(corrupt))
+        if corrupted == 0:
+            return [batch]
+        self._count("reads_corrupted", corrupted)
+        phases = batch.phases_rad.copy()
+        phases[corrupt] = self._rng.uniform(0.0, TWO_PI, corrupted)
+        return [
+            _rebuild(batch, batch.timestamps_s, batch.tag_ids, phases, batch.rssi_dbm)
+        ]
+
+
+class RssiCorruptionInjector(FaultInjector):
+    """``rate`` of RSSI values offset by N(0, sigma_db) draws."""
+
+    def push(self, batch: ReadBatch) -> list[ReadBatch]:
+        corrupt = self._rng.random(len(batch)) < self.spec.param("rate")
+        corrupted = int(np.count_nonzero(corrupt))
+        if corrupted == 0:
+            return [batch]
+        self._count("reads_corrupted", corrupted)
+        rssis = batch.rssi_dbm.copy()
+        rssis[corrupt] = rssis[corrupt] + self._rng.normal(
+            0.0, self.spec.param("sigma_db"), corrupted
+        )
+        return [
+            _rebuild(batch, batch.timestamps_s, batch.tag_ids, batch.phases_rad, rssis)
+        ]
+
+
+class StallInjector(FaultInjector):
+    """Reader stall: reads timestamped in the stall window are lost."""
+
+    def push(self, batch: ReadBatch) -> list[ReadBatch]:
+        start = self.spec.param("start_s")
+        end = start + self.spec.param("duration_s")
+        keep = ~((batch.timestamps_s >= start) & (batch.timestamps_s < end))
+        dropped = int(len(batch) - np.count_nonzero(keep))
+        if dropped == 0:
+            return [batch]
+        self._count("reads_dropped", dropped)
+        if not np.any(keep):
+            return []
+        return [_take(batch, keep)]
+
+
+class DisconnectInjector(FaultInjector):
+    """Reader disconnect: a window of whole batches is lost."""
+
+    def __init__(self, spec: InjectorSpec, rng: np.random.Generator) -> None:
+        super().__init__(spec, rng)
+        self._index = 0
+
+    def push(self, batch: ReadBatch) -> list[ReadBatch]:
+        index = self._index
+        self._index += 1
+        start = int(self.spec.param("start_batch"))
+        if start <= index < start + int(self.spec.param("batch_count")):
+            self._count("batches_dropped", 1)
+            self._count("reads_dropped", len(batch))
+            return []
+        return [batch]
+
+
+class TruncateInjector(FaultInjector):
+    """Stream truncation: batches past ``after_batches`` are lost."""
+
+    def __init__(self, spec: InjectorSpec, rng: np.random.Generator) -> None:
+        super().__init__(spec, rng)
+        self._index = 0
+
+    def push(self, batch: ReadBatch) -> list[ReadBatch]:
+        index = self._index
+        self._index += 1
+        if index >= int(self.spec.param("after_batches")):
+            self._count("batches_dropped", 1)
+            self._count("reads_dropped", len(batch))
+            return []
+        return [batch]
+
+
+_INJECTOR_CLASSES: dict[str, type[FaultInjector]] = {
+    "read_loss": ReadLossInjector,
+    "burst_loss": BurstLossInjector,
+    "duplicate": DuplicateInjector,
+    "clock_skew": ClockSkewInjector,
+    "phase_corruption": PhaseCorruptionInjector,
+    "rssi_corruption": RssiCorruptionInjector,
+    "stall": StallInjector,
+    "disconnect": DisconnectInjector,
+    "truncate": TruncateInjector,
+}
+
+
+class FaultPipeline:
+    """An instantiated injector chain with merged fault counters.
+
+    Push-style for live ingest (the fleet's per-portal seam), pull-style via
+    :meth:`apply` for replaying finished logs.  A pipeline is single-stream:
+    its injectors carry sequential state (burst runs, batch indices), so one
+    pipeline must not be shared between portals — build one per stream via
+    :meth:`FaultSpec.build` with distinct ``seed_offset`` values.
+    """
+
+    def __init__(self, spec: FaultSpec, injectors: list[FaultInjector]) -> None:
+        self.spec = spec
+        self.injectors = injectors
+        self.batches_in = 0
+        self.batches_out = 0
+        self.reads_in = 0
+        self.reads_out = 0
+
+    def push(self, batch: ReadBatch) -> list[ReadBatch]:
+        """Degrade one batch; returns the surviving batches (0 or 1)."""
+        self.batches_in += 1
+        self.reads_in += len(batch)
+        batches = [batch]
+        for injector in self.injectors:
+            batches = [
+                out for incoming in batches for out in injector.push(incoming)
+            ]
+            if not batches:
+                break
+        for out in batches:
+            self.batches_out += 1
+            self.reads_out += len(out)
+        return batches
+
+    def flush(self) -> list[ReadBatch]:
+        """End of stream: release anything injectors still buffer."""
+        released: list[ReadBatch] = []
+        for index, injector in enumerate(self.injectors):
+            for batch in injector.flush():
+                batches = [batch]
+                for downstream in self.injectors[index + 1 :]:
+                    batches = [
+                        out for incoming in batches for out in downstream.push(incoming)
+                    ]
+                released.extend(batches)
+        for out in released:
+            self.batches_out += 1
+            self.reads_out += len(out)
+        return released
+
+    def apply(self, batches: Iterable[ReadBatch]) -> Iterator[ReadBatch]:
+        """Pull-style wrapper: degrade a whole batch stream lazily."""
+        for batch in batches:
+            yield from self.push(batch)
+        yield from self.flush()
+
+    def counters(self) -> dict[str, int]:
+        """Fault counters summed across the chain (plus stream totals)."""
+        merged: dict[str, int] = {
+            "batches_in": self.batches_in,
+            "batches_out": self.batches_out,
+            "reads_in": self.reads_in,
+            "reads_out": self.reads_out,
+        }
+        for injector in self.injectors:
+            for name, value in injector.counters.items():
+                merged[name] = merged.get(name, 0) + value
+        return merged
+
+    @property
+    def faults_injected(self) -> int:
+        """Total individual fault events across the chain (per-injector
+        counters summed; stream totals excluded)."""
+        return sum(
+            value
+            for injector in self.injectors
+            for value in injector.counters.values()
+        )
+
+
+def build_pipeline(spec: FaultSpec, seed_offset: int = 0) -> FaultPipeline:
+    """Instantiate ``spec``'s injector chain with decorrelated seeded RNGs."""
+    injectors = []
+    for index, injector_spec in enumerate(spec.injectors):
+        rng = np.random.default_rng([spec.seed, seed_offset, index])
+        injectors.append(_INJECTOR_CLASSES[injector_spec.kind](injector_spec, rng))
+    return FaultPipeline(spec, injectors)
+
+
+def apply_to_log(
+    spec_or_pipeline: "FaultSpec | FaultPipeline",
+    log: ReadLog,
+    batch_size: int = 256,
+    seed_offset: int = 0,
+) -> ReadLog:
+    """Replay ``log`` through a fault pipeline into a new degraded log.
+
+    With a :class:`FaultSpec` and no injectors configured the input log is
+    replayed untouched — the returned log equals the input read-for-read
+    (the zero-fault bit-identity contract).
+    """
+    pipeline = (
+        spec_or_pipeline
+        if isinstance(spec_or_pipeline, FaultPipeline)
+        else build_pipeline(spec_or_pipeline, seed_offset=seed_offset)
+    )
+    degraded = ReadLog()
+    for batch in pipeline.apply(log.iter_batches(batch_size)):
+        degraded.extend_batch(batch)
+    return degraded

@@ -287,7 +287,25 @@ def scenario_experiment(
 
     Module-level and picklable (the spec rides along inside a
     ``functools.partial``), as the sweep engine requires.
+
+    A spec carrying a ``faults`` section gets its read log degraded through
+    the fault pipeline after simulation — seed-offset by the repetition seed,
+    so every rep draws decorrelated but reproducible faults.  Clean specs
+    skip the pipeline entirely and produce the exact pre-fault-layer log.
     """
+    experiment = _clean_scenario_experiment(rep_index, seed, spec)
+    if spec.faults is not None:
+        from ..faults import apply_to_log
+
+        experiment.read_log = apply_to_log(
+            spec.faults, experiment.read_log, seed_offset=seed
+        )
+    return experiment
+
+
+def _clean_scenario_experiment(
+    rep_index: int, seed: int, spec: ScenarioSpec
+) -> SweepExperiment:
     if spec.layout.kind == "conveyor_lanes":
         return _conveyor_lanes_experiment(spec, rep_index, seed)
     if spec.layout.kind == "baggage_belt":

@@ -14,6 +14,12 @@ JSON-serializable sections:
 * :class:`Channel` — measurement noise, dropouts, and multipath richness;
 * :class:`Placement` — reader geometry and the Landmarc reference grid.
 
+A sixth, optional section — ``faults`` — attaches a
+:class:`~repro.faults.spec.FaultSpec` degradation profile (read loss,
+duplication, clock skew, corruption, stall/disconnect windows) to the
+deployment.  It is omitted from the canonical JSON when absent, so every
+pre-existing spec document round-trips byte-identically.
+
 Parsing is **strict**: unknown keys and out-of-range values raise
 :class:`SpecError` with the dotted path of the offending field, and — when
 the spec came from a file or text — the line it sits on, so a typo in a
@@ -27,11 +33,14 @@ round-trips exactly; equality is field-by-field value equality.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from pathlib import Path
-from typing import Any, Mapping
+from typing import TYPE_CHECKING, Any, Mapping
 
 from ..motion.speed_profiles import DEFAULT_BELT_SPEED_MPS
+
+if TYPE_CHECKING:  # runtime import is lazy: faults.spec imports this module
+    from ..faults.spec import FaultSpec
 
 
 class SpecError(ValueError):
@@ -533,7 +542,10 @@ class Placement:
 # The spec
 # --------------------------------------------------------------------------
 
-_TOP_LEVEL_KEYS = ("name", "description", "layout", "population", "motion", "channel", "placement")
+_TOP_LEVEL_KEYS = (
+    "name", "description", "layout", "population", "motion", "channel",
+    "placement", "faults",
+)
 
 
 @dataclass(frozen=True)
@@ -551,6 +563,7 @@ class ScenarioSpec:
     motion: Motion
     channel: Channel = field(default_factory=Channel)
     placement: Placement = field(default_factory=Placement)
+    faults: "FaultSpec | None" = None
 
     def __post_init__(self) -> None:
         if not self.name or not all(c.isalnum() or c in "_-[]=.," for c in self.name):
@@ -560,6 +573,13 @@ class ScenarioSpec:
             )
         _validate_population(self.layout, self.population)
         _validate_motion(self.layout, self.motion)
+        if self.faults is not None:
+            from ..faults.spec import FaultSpec
+
+            if not isinstance(self.faults, FaultSpec):
+                raise SpecError(
+                    "faults", f"must be a FaultSpec or null, got {self.faults!r}"
+                )
 
     @property
     def tag_count(self) -> int:
@@ -585,6 +605,11 @@ class ScenarioSpec:
         description = data.get("description", "")
         if not isinstance(description, str):
             raise SpecError("description", f"must be a string, got {description!r}")
+        faults = None
+        if data.get("faults") is not None:
+            from ..faults.spec import FaultSpec
+
+            faults = FaultSpec.from_json(data["faults"], section="faults")
         return cls(
             name=name,
             description=description,
@@ -593,6 +618,7 @@ class ScenarioSpec:
             motion=Motion.from_json(data["motion"]),
             channel=Channel.from_json(data.get("channel", {})),
             placement=Placement.from_json(data.get("placement", {})),
+            faults=faults,
         )
 
     @classmethod
@@ -615,8 +641,13 @@ class ScenarioSpec:
         return cls.from_text(path.read_text(), source=str(path))
 
     def to_json(self) -> dict[str, Any]:
-        """The canonical JSON payload (all fields explicit; round-trips)."""
-        return {
+        """The canonical JSON payload (all fields explicit; round-trips).
+
+        The optional ``faults`` section is emitted only when present, so spec
+        documents written before the fault layer existed stay byte-identical
+        through a load/save cycle.
+        """
+        payload: dict[str, Any] = {
             "name": self.name,
             "description": self.description,
             "layout": self.layout.to_json(),
@@ -625,6 +656,27 @@ class ScenarioSpec:
             "channel": self.channel.to_json(),
             "placement": self.placement.to_json(),
         }
+        if self.faults is not None:
+            payload["faults"] = self.faults.to_json()
+        return payload
+
+    def degraded(self, faults: "FaultSpec", name: str | None = None) -> "ScenarioSpec":
+        """This deployment with a fault profile attached.
+
+        The derived spec is identical except for ``faults`` and its name,
+        which defaults to ``"<name>[faults=<label>]"`` — the label a
+        name-charset-safe rendering of the injector chain (e.g.
+        ``"read_loss.rate=0.2,duplicate.rate=0.1"``) — so degraded variants
+        sort next to their clean parent in the registry and on the
+        leaderboard.
+        """
+        if name is None:
+            label = ",".join(
+                injector.kind + "".join(f".{k}={v:g}" for k, v in injector.params)
+                for injector in faults.injectors
+            ) or "clean"
+            name = f"{self.name}[faults={label}]"
+        return replace(self, name=name, faults=faults)
 
     def to_text(self) -> str:
         """The canonical JSON document."""

@@ -10,12 +10,15 @@ Two tiers:
 
 * :class:`LocalizationSession` — one portal's stream (PR 4);
 * :class:`FleetService` — many concurrent portals multiplexed behind bounded
-  queues with shed policies, fault quarantine, and a shared facility-keyed
-  :class:`ProfileCacheRegistry` (see ``docs/service.md``).
+  queues with shed policies, transient-fault recovery
+  (restart-from-checkpoint), fault quarantine, and a shared facility-keyed
+  :class:`ProfileCacheRegistry` (see ``docs/service.md`` and
+  ``docs/robustness.md``).
 """
 
 from .cache import ProfileCacheRegistry
 from .fleet import (
+    DEFAULT_TRANSIENT_ERRORS,
     FleetConfig,
     FleetError,
     FleetService,
@@ -26,11 +29,14 @@ from .fleet import (
     PortalStateError,
     PortalStats,
     SHED_POLICIES,
+    TransientFaultError,
     UnknownPortalError,
 )
-from .session import LocalizationSession, StreamingUpdate
+from .session import CHECKPOINT_VERSION, LocalizationSession, StreamingUpdate
 
 __all__ = [
+    "CHECKPOINT_VERSION",
+    "DEFAULT_TRANSIENT_ERRORS",
     "FleetConfig",
     "FleetError",
     "FleetService",
@@ -44,5 +50,6 @@ __all__ = [
     "ProfileCacheRegistry",
     "SHED_POLICIES",
     "StreamingUpdate",
+    "TransientFaultError",
     "UnknownPortalError",
 ]

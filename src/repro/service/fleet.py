@@ -23,11 +23,24 @@ Design (see ``docs/service.md`` for the lifecycle and decision tables):
   hold: for every portal, :meth:`FleetService.finalize` returns output
   bit-identical to a standalone session fed the same batches.  Concurrency
   never changes results, only wall clock.
-* **Fault isolation.**  A session that raises mid-stream (a broken aligner,
-  a poisoned batch) quarantines *only its portal*: the error is captured,
-  the portal's queue is discarded, and further ingest/finalize on it raise
+* **Fault isolation with recovery.**  A session that raises mid-ingest is
+  first *classified*: a *transient* fault (``TransientFaultError``,
+  ``TimeoutError``, ``ConnectionError`` — configurable via
+  ``FleetConfig.transient_errors``) triggers seeded exponential-backoff
+  retries, each of which **restarts the session from its last checkpoint**
+  (:meth:`LocalizationSession.restore`), replays the journal of batches
+  ingested since, and re-attempts the failed batch — restart-then-replay is
+  the only retry that preserves bit-identity, because a half-ingested batch
+  cannot simply be fed again.  Only when retries are exhausted (or the fault
+  is fatal) is the portal *quarantined*: the error is captured, the queue
+  discarded, and further ingest/finalize raise
   :class:`PortalQuarantinedError` carrying the original exception.  Sibling
-  portals keep ingesting and finalize bit-identically.
+  portals keep ingesting and finalize bit-identically either way.
+* **Fault injection seam.**  ``open_portal(..., fault_spec=FaultSpec(...))``
+  arms a portal with a seeded :class:`~repro.faults.FaultPipeline` applied
+  to every batch *before* it is queued — the deterministic degraded-feed
+  harness the robustness benchmark and chaos tests drive; the per-portal
+  ``faults_injected`` counter reports what the pipeline actually did.
 * **Lifecycle + stats.**  Portals are opened, finalized (drain, then the
   session's batch-exact :meth:`~LocalizationSession.finalize`), and evicted;
   :meth:`evict_idle` finalizes-and-evicts portals that stopped receiving
@@ -45,6 +58,7 @@ from __future__ import annotations
 import queue
 import threading
 import time
+import zlib
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable, Mapping
@@ -52,6 +66,7 @@ from typing import Any, Callable, Iterable, Mapping
 import numpy as np
 
 from ..core.localizer import STPPConfig
+from ..faults import FaultPipeline, FaultSpec
 from ..rfid.reading import ReadBatch
 from .cache import DEFAULT_CACHE_CAPACITY, ProfileCacheRegistry
 from .session import LocalizationSession, StreamingUpdate
@@ -84,6 +99,22 @@ class PortalOverloadError(FleetError):
 
 class PortalQuarantinedError(FleetError):
     """The portal's session raised; the original exception is ``__cause__``."""
+
+
+class TransientFaultError(FleetError):
+    """A session fault known to be recoverable (a glitching reader link, a
+    momentary resource failure).  Raising it from a session's ingest path
+    asks the fleet for a retry with restart-from-checkpoint instead of
+    immediate quarantine; it is also the conventional type for injected
+    transient faults in chaos tests."""
+
+
+DEFAULT_TRANSIENT_ERRORS: tuple[type[BaseException], ...] = (
+    TransientFaultError,
+    TimeoutError,
+    ConnectionError,
+)
+"""Exception types the fleet treats as transient (retry before quarantine)."""
 
 
 @dataclass(frozen=True, slots=True)
@@ -125,7 +156,31 @@ class FleetConfig:
     session_factory: Callable[..., LocalizationSession] | None = None
     """Override how portal sessions are built (fault-injection seam for
     tests).  Called as ``factory(key=PortalKey, **session_kwargs)``; the
-    default builds a plain :class:`LocalizationSession`."""
+    default builds a plain :class:`LocalizationSession`.  Note that a session
+    recovered by restart-from-checkpoint is always rebuilt as a base
+    :class:`LocalizationSession` (see :meth:`LocalizationSession.restore`)."""
+
+    max_retries: int = 2
+    """Retry attempts (each a restart-from-checkpoint) granted to a transient
+    ingest fault before the portal is quarantined.  0 disables recovery."""
+
+    retry_backoff_s: float = 0.05
+    """Base of the exponential retry backoff: attempt ``n`` sleeps
+    ``retry_backoff_s * 2**(n-1)`` scaled by a seeded jitter in [0.5, 1.5)."""
+
+    retry_seed: int = 0
+    """Seed of the per-portal backoff-jitter RNG (mixed with the portal key),
+    so chaos runs sleep reproducibly."""
+
+    checkpoint_every: int = 16
+    """Checkpoint cadence in successfully ingested batches.  Between
+    checkpoints the portal journals its batches, so a restart replays at most
+    this many; smaller values cheapen recovery, larger cheapen the happy
+    path."""
+
+    transient_errors: tuple[type[BaseException], ...] = DEFAULT_TRANSIENT_ERRORS
+    """Exception types classified transient (retried); anything else raised
+    by a session is fatal and quarantines the portal immediately."""
 
     def __post_init__(self) -> None:
         if self.queue_capacity < 1:
@@ -144,6 +199,21 @@ class FleetConfig:
             )
         if self.block_poll_s <= 0:
             raise ValueError(f"block_poll_s must be positive, got {self.block_poll_s}")
+        if self.max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {self.max_retries}")
+        if self.retry_backoff_s < 0:
+            raise ValueError(
+                f"retry_backoff_s must be >= 0, got {self.retry_backoff_s}"
+            )
+        if self.checkpoint_every < 1:
+            raise ValueError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        for entry in self.transient_errors:
+            if not (isinstance(entry, type) and issubclass(entry, BaseException)):
+                raise ValueError(
+                    f"transient_errors must hold exception types, got {entry!r}"
+                )
 
 
 @dataclass(frozen=True)
@@ -163,7 +233,15 @@ class PortalStats:
     shed_reads: int
     provisional_count: int
     provisional_latency_p95_s: float | None
+    """p95 of the portal's provisional-refresh latencies; ``None`` (never a
+    crash) while the portal has zero provisional samples."""
     idle_s: float
+    retries: int = 0
+    """Transient-fault retry attempts performed for this portal."""
+    restarts: int = 0
+    """Successful restart-from-checkpoint recoveries (session replaced)."""
+    faults_injected: int = 0
+    """Fault events applied by the portal's armed injection pipeline."""
 
 
 @dataclass(frozen=True)
@@ -180,6 +258,9 @@ class FleetStats:
     shed_reads: int
     queue_depth: int
     provisional_latency_p95_s: float | None
+    retries: int = 0
+    restarts: int = 0
+    faults_injected: int = 0
     portals: Mapping[PortalKey, PortalStats] = field(default_factory=dict)
 
 
@@ -193,6 +274,8 @@ class _Portal:
         "reads_enqueued", "reads_ingested", "batches_enqueued",
         "batches_ingested", "shed_batches", "shed_reads", "latencies",
         "provisional_count", "last_activity", "final_update",
+        "session_kwargs", "checkpoint", "journal", "since_checkpoint",
+        "retries", "restarts", "fault_pipeline", "retry_rng",
     )
 
     def __init__(
@@ -202,6 +285,9 @@ class _Portal:
         shed_policy: str,
         queue_capacity: int,
         max_latency_samples: int,
+        session_kwargs: dict[str, Any] | None = None,
+        fault_pipeline: FaultPipeline | None = None,
+        retry_seed: int = 0,
     ) -> None:
         self.key = key
         self.session = session
@@ -224,6 +310,17 @@ class _Portal:
         self.provisional_count = 0
         self.last_activity = time.monotonic()
         self.final_update: StreamingUpdate | None = None
+        self.session_kwargs = dict(session_kwargs or {})
+        self.checkpoint: bytes | None = None  # last durable session state
+        self.journal: list[ReadBatch] = []    # ingested since the checkpoint
+        self.since_checkpoint = 0
+        self.retries = 0
+        self.restarts = 0
+        self.fault_pipeline = fault_pipeline
+        # Seeded per portal (key-mixed) so backoff jitter is reproducible.
+        self.retry_rng = np.random.default_rng(
+            [retry_seed, zlib.crc32(str(key).encode())]
+        )
 
     def snapshot(self, now: float) -> PortalStats:
         latencies = tuple(self.latencies)
@@ -245,6 +342,11 @@ class _Portal:
             provisional_count=self.provisional_count,
             provisional_latency_p95_s=p95,
             idle_s=max(0.0, now - self.last_activity),
+            retries=self.retries,
+            restarts=self.restarts,
+            faults_injected=(
+                self.fault_pipeline.faults_injected if self.fault_pipeline else 0
+            ),
         )
 
 
@@ -312,12 +414,21 @@ class FleetService:
         channel_index: int | None = None,
         shed_policy: str | None = None,
         queue_capacity: int | None = None,
+        fault_spec: FaultSpec | None = None,
+        out_of_order: str = "reorder",
     ) -> PortalKey:
         """Open a session for one portal and return its routing key.
 
         Per-portal ``shed_policy`` / ``queue_capacity`` override the fleet
         defaults.  Re-opening a live key raises :class:`PortalStateError`
         (evict the old portal first); an evicted key may be reused.
+
+        ``fault_spec`` arms the portal with a seeded fault-injection pipeline
+        (:meth:`FaultSpec.build`, seed-offset mixed from the portal key):
+        every batch routed to this portal is degraded *before* it is queued.
+        ``None`` (the default) injects nothing and leaves the ingest path
+        byte-for-byte untouched.  ``out_of_order`` selects the session's
+        collector policy (``"dedupe"`` drops exact duplicate reads).
         """
         self._check_running()
         policy = shed_policy if shed_policy is not None else self.config.shed_policy
@@ -334,6 +445,7 @@ class FleetService:
             expected_tag_ids=expected_tag_ids,
             pivot_tag_id=pivot_tag_id,
             channel_index=channel_index,
+            out_of_order=out_of_order,
             profile_cache=self.profile_cache,
             facility_id=key.facility_id,
         )
@@ -343,12 +455,20 @@ class FleetService:
             if factory is None
             else factory(key=key, **session_kwargs)
         )
+        pipeline = (
+            None
+            if fault_spec is None
+            else fault_spec.build(seed_offset=zlib.crc32(str(key).encode()))
+        )
         portal = _Portal(
             key=key,
             session=session,
             shed_policy=policy,
             queue_capacity=capacity,
             max_latency_samples=self.config.max_latency_samples,
+            session_kwargs=session_kwargs,
+            fault_pipeline=pipeline,
+            retry_seed=self.config.retry_seed,
         )
         with self._lock:
             if key in self._portals:
@@ -359,12 +479,31 @@ class FleetService:
     def ingest(self, key: PortalKey, batch: ReadBatch) -> None:
         """Route one read batch to its portal's queue.
 
+        If the portal was opened with a ``fault_spec``, the batch first
+        passes through the portal's fault pipeline and only the surviving
+        (possibly degraded) batches are queued — ``reads_enqueued`` counts
+        what was actually accepted, and the ``faults_injected`` counter in
+        the portal's stats accounts for the difference.  Fault-free portals
+        take a byte-identical fast path.
+
         Queue-full behaviour follows the portal's shed policy.  Raises
         :class:`PortalStateError` once the portal is finalized,
         :class:`PortalQuarantinedError` once it is quarantined, and
         :class:`UnknownPortalError` for unknown/evicted keys.
         """
         portal = self._portal(key)
+        if portal.fault_pipeline is None:
+            self._enqueue(portal, batch)
+            return
+        with portal.cond:
+            self._check_ingestible(portal)
+            # A fully-dropped batch still counts as reader contact.
+            portal.last_activity = time.monotonic()
+        for degraded in portal.fault_pipeline.push(batch):
+            self._enqueue(portal, degraded)
+
+    def _enqueue(self, portal: _Portal, batch: ReadBatch) -> None:
+        """Queue one (post-fault) batch under the portal's shed policy."""
         with portal.cond:
             self._check_ingestible(portal)
             if len(portal.queue) >= portal.queue_capacity:
@@ -372,7 +511,7 @@ class FleetService:
                     portal.shed_batches += 1
                     portal.shed_reads += len(batch)
                     raise PortalOverloadError(
-                        f"portal {key} queue full "
+                        f"portal {portal.key} queue full "
                         f"({portal.queue_capacity} batches); batch rejected"
                     )
                 if portal.shed_policy == "drop_oldest":
@@ -398,7 +537,7 @@ class FleetService:
             if schedule:
                 portal.scheduled = True
         if schedule:
-            self._dispatch.put(key)
+            self._dispatch.put(portal.key)
 
     def ingest_round_robin(
         self, pairs: Iterable[tuple[PortalKey, ReadBatch]]
@@ -449,6 +588,13 @@ class FleetService:
         mid-drain raises :class:`PortalQuarantinedError`.
         """
         portal = self._portal(key)
+        if portal.fault_pipeline is not None:
+            with portal.cond:
+                flushable = portal.state == STATE_OPEN
+            if flushable:
+                # End of stream: release anything injectors still buffer.
+                for released in portal.fault_pipeline.flush():
+                    self._enqueue(portal, released)
         with portal.cond:
             if portal.state == STATE_FINALIZED:
                 raise PortalStateError(f"portal {key} is already finalized")
@@ -602,6 +748,9 @@ class FleetService:
             shed_reads=sum(s.shed_reads for s in snapshots.values()),
             queue_depth=sum(s.queue_depth for s in snapshots.values()),
             provisional_latency_p95_s=p95,
+            retries=sum(s.retries for s in snapshots.values()),
+            restarts=sum(s.restarts for s in snapshots.values()),
+            faults_injected=sum(s.faults_injected for s in snapshots.values()),
             portals=snapshots,
         )
 
@@ -690,11 +839,87 @@ class FleetService:
                 with portal.session_lock:
                     portal.session.ingest_batch(batch)
             except BaseException as exc:
-                self._quarantine(portal, exc)
-                return
+                if not self._recover(portal, batch, exc):
+                    return
+            # Journal + checkpoint cadence: only this worker touches these
+            # (the ``scheduled`` flag serializes draining per portal).
+            portal.journal.append(batch)
+            portal.since_checkpoint += 1
+            if portal.since_checkpoint >= self.config.checkpoint_every:
+                try:
+                    with portal.session_lock:
+                        portal.checkpoint = portal.session.checkpoint()
+                except BaseException as exc:
+                    self._quarantine(portal, exc)
+                    return
+                portal.journal.clear()
+                portal.since_checkpoint = 0
             with portal.cond:
                 portal.reads_ingested += len(batch)
                 portal.batches_ingested += 1
                 portal.in_flight = False
                 portal.last_activity = time.monotonic()
                 portal.cond.notify_all()
+
+    def _recover(
+        self, portal: _Portal, batch: ReadBatch, exc: BaseException
+    ) -> bool:
+        """Attempt transient-fault recovery; True iff the batch was ingested.
+
+        Exceptions listed in ``config.transient_errors`` are retried up to
+        ``max_retries`` times with seeded exponential backoff; anything else
+        is fatal and quarantines immediately.  A failed ``ingest_batch`` may
+        have left partial per-tag appends behind, so a retry never re-feeds
+        the same session: each attempt rebuilds the session from the last
+        checkpoint (or from scratch), replays the journal of batches ingested
+        since, and re-attempts the failed batch — the only retry shape that
+        preserves the fleet's bit-identity contract.
+        """
+        if not isinstance(exc, self.config.transient_errors):
+            self._quarantine(portal, exc)
+            return False
+        error = exc
+        for attempt in range(1, self.config.max_retries + 1):
+            with portal.cond:
+                portal.retries += 1
+            delay = (
+                self.config.retry_backoff_s
+                * (2.0 ** (attempt - 1))
+                * float(portal.retry_rng.uniform(0.5, 1.5))
+            )
+            if delay > 0.0:
+                time.sleep(delay)
+            try:
+                session = self._restart_session(portal)
+                session.ingest_batch(batch)
+            except BaseException as retry_exc:
+                error = retry_exc
+                if isinstance(retry_exc, self.config.transient_errors):
+                    continue
+                break
+            with portal.session_lock:
+                portal.session = session
+            with portal.cond:
+                portal.restarts += 1
+            return True
+        self._quarantine(portal, error)
+        return False
+
+    def _restart_session(self, portal: _Portal) -> LocalizationSession:
+        """Rebuild the portal's session state up to the last ingested batch.
+
+        Restores from the latest checkpoint when one exists, otherwise
+        constructs a fresh base session, then replays the journal.  The
+        result is always a plain :class:`LocalizationSession` — factory
+        wrappers do not survive a restart, which is exactly what clears
+        faults injected by a wrapper.
+        """
+        if portal.checkpoint is not None:
+            session = LocalizationSession.restore(
+                portal.checkpoint, profile_cache=self.profile_cache
+            )
+        else:
+            session = LocalizationSession(**portal.session_kwargs)
+        for replay in portal.journal:
+            session.ingest_batch(replay)
+        return session

@@ -27,6 +27,7 @@ same reads — pinned across the library, airport, and warehouse workloads by
 
 from __future__ import annotations
 
+import pickle
 import time
 from dataclasses import dataclass, field
 
@@ -42,8 +43,25 @@ from ..core.segmentation import IncrementalSegmenter
 from ..core.vzone import VZone
 from ..evaluation.metrics import ordering_agreement
 from ..rfid.reading import ReadBatch, TagRead
-from ..simulation.streaming import StreamingCollector
+from ..simulation.streaming import StreamingCollector, TagStreamBuffer
 from .cache import ProfileCacheRegistry
+
+CHECKPOINT_VERSION = 1
+"""Format version stamped into every :meth:`LocalizationSession.checkpoint`."""
+
+GAP_FACTOR = 16.0
+"""A silence on the session's pooled read timeline longer than this many
+times the median inter-read interval counts as a coverage hole (a reader
+stall or disconnect window).  The *global* timeline is the right signal: a
+stalled reader silences every tag at once, while per-tag cadences vary wildly
+on belt workloads (a tag is only read near the antenna).  Calibrated against
+the clean library/airport/warehouse leaderboard streams, whose worst global
+gap is ~7x the median (their ~10% random dropout included) versus >100x for
+a 0.4 s stall — clean streams must report **zero** holes so the zero-fault
+confidence stays bit-identical to pre-robustness behaviour."""
+
+_MIN_GAP_SAMPLES = 16
+"""Minimum pooled reads before the stream cadence is considered estimable."""
 
 
 @dataclass(frozen=True)
@@ -71,11 +89,18 @@ class StreamingUpdate:
     (1.0 for the first update)."""
 
     confidence: float
-    """``ordered_fraction * agreement`` — 1.0 means every expected tag is
-    ordered and the ordering has stopped moving between refreshes."""
+    """``ordered_fraction * agreement * quality`` — 1.0 means every expected
+    tag is ordered, the ordering has stopped moving between refreshes, and
+    the stream shows no hard degradation evidence."""
 
     elapsed_s: float
     """Wall-clock cost of computing this update (not of ingestion)."""
+
+    quality: float = 1.0
+    """Stream-health grade in [0, 1]: exactly 1.0 on a clean stream, degraded
+    by hard anomaly evidence only — duplicates dropped at ingest, out-of-order
+    acceptances, and per-tag coverage holes (see
+    :meth:`LocalizationSession.stream_quality`)."""
 
     final: bool = False
     """True for the update returned by :meth:`LocalizationSession.finalize`."""
@@ -311,6 +336,71 @@ class LocalizationSession:
             },
         )
 
+    # -- stream health -----------------------------------------------------
+
+    def stream_quality(self) -> dict:
+        """Hard-evidence degradation report over the expected streams.
+
+        Inspects only what the stream itself proves — no model of what the
+        feed *should* look like:
+
+        * ``duplicates_dropped`` — exact duplicates removed at ingest (the
+          ``"dedupe"`` policy);
+        * ``reorders`` — out-of-order acceptances (late reads);
+        * ``gap_seconds`` — coverage holes on the **pooled** timeline of all
+          expected tags: silences longer than :data:`GAP_FACTOR` x the median
+          inter-read interval (reader stalls, disconnect windows, deep loss
+          bursts — anything that silences the whole feed at once).
+
+        ``quality = (1 - anomaly_fraction) * (1 - gap_fraction)``, where
+        ``anomaly_fraction`` is anomalous reads over total and
+        ``gap_fraction`` is hole time over covered time.  On a clean stream
+        every term is identically zero and quality is **exactly** 1.0, which
+        keeps the zero-fault confidence bit-identical.
+        """
+        expected_set = None if self._expected is None else set(self._expected)
+        reads = 0
+        duplicates = 0
+        reorders = 0
+        gap_seconds = 0.0
+        span_seconds = 0.0
+        timelines = []
+        for tag_id in self.collector.tag_ids():
+            if expected_set is not None and tag_id not in expected_set:
+                continue
+            stream = self.collector.stream(tag_id)
+            reads += len(stream)
+            duplicates += stream.duplicates_dropped
+            reorders += stream.reorders
+            times, _, _ = stream.sorted_arrays()
+            timelines.append(times)
+        if timelines:
+            pooled = np.sort(np.concatenate(timelines))
+            if pooled.shape[0] >= _MIN_GAP_SAMPLES:
+                diffs = np.diff(pooled)
+                median = float(np.median(diffs))
+                if median > 0.0:
+                    span_seconds = float(pooled[-1] - pooled[0])
+                    holes = diffs[diffs > GAP_FACTOR * median]
+                    if holes.size:
+                        gap_seconds = float(np.sum(holes - median))
+        anomalous = duplicates + reorders
+        anomaly_fraction = (
+            anomalous / (reads + anomalous) if (reads + anomalous) else 0.0
+        )
+        gap_fraction = gap_seconds / span_seconds if span_seconds > 0.0 else 0.0
+        quality = (1.0 - anomaly_fraction) * (1.0 - min(gap_fraction, 1.0))
+        return {
+            "reads": reads,
+            "duplicates_dropped": duplicates,
+            "reorders": reorders,
+            "gap_seconds": gap_seconds,
+            "span_seconds": span_seconds,
+            "anomaly_fraction": anomaly_fraction,
+            "gap_fraction": gap_fraction,
+            "quality": quality,
+        }
+
     # -- updates -----------------------------------------------------------
 
     def _update(self, final: bool) -> StreamingUpdate:
@@ -334,6 +424,7 @@ class LocalizationSession:
             else ordering_agreement(self._previous_x, result.x_ordering.ordered_ids)
         )
         self._previous_x = result.x_ordering.ordered_ids
+        quality = self.stream_quality()["quality"]
 
         update = StreamingUpdate(
             update_index=self._updates,
@@ -342,8 +433,9 @@ class LocalizationSession:
             result=result,
             ordered_fraction=ordered_fraction,
             agreement=agreement,
-            confidence=ordered_fraction * agreement,
+            confidence=ordered_fraction * agreement * quality,
             elapsed_s=elapsed,
+            quality=quality,
             final=final,
         )
         self._updates += 1
@@ -363,3 +455,168 @@ class LocalizationSession:
         if self._finalized is None:
             self._finalized = self._update(final=True)
         return self._finalized
+
+    # -- checkpoint / restore ----------------------------------------------
+
+    def checkpoint(self) -> bytes:
+        """Serialize the session's resumable state to bytes.
+
+        The payload captures everything the incremental engines have built —
+        per-tag sample buffers, segmenter state (closed segments and the open
+        tail), the resumable aligner's cached DTW accumulation prefix, and
+        the session's update history — but *not* the localizer or reference
+        profile, which :meth:`restore` rebuilds deterministically from the
+        config.  **Contract** (pinned by ``tests/test_checkpoint.py``): a
+        session restored from a checkpoint and fed the remaining batches
+        finalizes bit-identically to the uninterrupted session.
+
+        Raises ``RuntimeError`` after :meth:`finalize` — a finalized session
+        has nothing left to resume.
+        """
+        if self._finalized is not None:
+            raise RuntimeError("session already finalized; nothing left to resume")
+        collector = self.collector
+        streams = []
+        for stream in collector.streams():
+            count = len(stream)
+            streams.append(
+                {
+                    "tag_id": stream.tag_id,
+                    "times": stream._times[:count].copy(),
+                    "phases": stream._phases[:count].copy(),
+                    "rssis": stream._rssis[:count].copy(),
+                    "last_time": stream._last_time,
+                    "disordered": stream._disordered,
+                    "reorders": stream.reorders,
+                    "duplicates_dropped": stream.duplicates_dropped,
+                    "seen": None if stream._seen is None else set(stream._seen),
+                    "channel_index": stream._channel_index,
+                }
+            )
+        pipelines = {}
+        for tag_id, pipeline in self._pipelines.items():
+            segmenter = pipeline.segmenter
+            aligner = pipeline.aligner
+            pipelines[tag_id] = {
+                "segmenter": {
+                    "window_size": segmenter.window_size,
+                    "jump_threshold_rad": segmenter.jump_threshold_rad,
+                    "closed": list(segmenter._closed),
+                    "count": segmenter._count,
+                    "prev_phase": segmenter._prev_phase,
+                    "open_start": segmenter._open_start,
+                    "open_count": segmenter._open_count,
+                    "open_start_time": segmenter._open_start_time,
+                    "open_end_time": segmenter._open_end_time,
+                    "open_min": segmenter._open_min,
+                    "open_max": segmenter._open_max,
+                },
+                "aligner": {
+                    "cached_cols": aligner._cached_cols,
+                    "cost_prefix": aligner._cost[:, : aligner._cached_cols].copy(),
+                },
+                "consumed": pipeline.consumed,
+                "generation": pipeline.generation,
+            }
+        state = {
+            "version": CHECKPOINT_VERSION,
+            "config": self.config,
+            "expected": None if self._expected is None else list(self._expected),
+            "pivot": self._pivot_tag_id,
+            "channel_index": collector._explicit_channel,
+            "out_of_order": collector.out_of_order,
+            "facility_id": self.facility_id,
+            "channels_seen": set(collector._channels_seen),
+            "read_count": collector._read_count,
+            "streams": streams,
+            "pipelines": pipelines,
+            "batches": self._batches,
+            "updates": self._updates,
+            "previous_x": self._previous_x,
+        }
+        return pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+
+    @classmethod
+    def restore(
+        cls, data: bytes, profile_cache: "ProfileCacheRegistry | None" = None
+    ) -> "LocalizationSession":
+        """Rebuild a session from :meth:`checkpoint` bytes.
+
+        The restored session continues exactly where the checkpointed one
+        stood: ingesting the remaining batches and finalizing produces output
+        bit-identical to the uninterrupted run.  The localizer, detector, and
+        reference profile are rebuilt from the checkpointed config (pass
+        ``profile_cache`` to share the facility's cached reference); V-zone
+        detections are deterministically recomputed at the next update rather
+        than serialized.
+
+        Always returns a base :class:`LocalizationSession`, regardless of the
+        class the checkpoint was taken from — subclass wrappers (e.g. fleet
+        ``session_factory`` test doubles) do not survive a restart, which is
+        exactly the semantics a crash-recovery path wants.
+        """
+        state = pickle.loads(data)
+        version = state.get("version")
+        if version != CHECKPOINT_VERSION:
+            raise ValueError(
+                f"unsupported checkpoint version {version!r} "
+                f"(this build reads version {CHECKPOINT_VERSION})"
+            )
+        session = LocalizationSession(
+            config=state["config"],
+            expected_tag_ids=state["expected"],
+            pivot_tag_id=state["pivot"],
+            channel_index=state["channel_index"],
+            out_of_order=state["out_of_order"],
+            profile_cache=profile_cache,
+            facility_id=state["facility_id"],
+        )
+        collector = session.collector
+        collector._channels_seen = set(state["channels_seen"])
+        collector._read_count = state["read_count"]
+        for entry in state["streams"]:
+            stream = TagStreamBuffer(entry["tag_id"])
+            count = entry["times"].shape[0]
+            stream._ensure_capacity(count)
+            stream._times[:count] = entry["times"]
+            stream._phases[:count] = entry["phases"]
+            stream._rssis[:count] = entry["rssis"]
+            stream._count = count
+            stream._last_time = entry["last_time"]
+            stream._disordered = entry["disordered"]
+            stream.reorders = entry["reorders"]
+            stream.duplicates_dropped = entry["duplicates_dropped"]
+            stream._seen = entry["seen"]
+            stream._channel_index = entry["channel_index"]
+            collector._streams[stream.tag_id] = stream
+        for tag_id, saved in state["pipelines"].items():
+            pipeline = session._pipeline_for(tag_id)
+            seg_state = saved["segmenter"]
+            segmenter = IncrementalSegmenter(
+                seg_state["window_size"], seg_state["jump_threshold_rad"]
+            )
+            segmenter._closed = list(seg_state["closed"])
+            segmenter._count = seg_state["count"]
+            segmenter._prev_phase = seg_state["prev_phase"]
+            segmenter._open_start = seg_state["open_start"]
+            segmenter._open_count = seg_state["open_count"]
+            segmenter._open_start_time = seg_state["open_start_time"]
+            segmenter._open_end_time = seg_state["open_end_time"]
+            segmenter._open_min = seg_state["open_min"]
+            segmenter._open_max = seg_state["open_max"]
+            pipeline.segmenter = segmenter
+            aligner_state = saved["aligner"]
+            cached = aligner_state["cached_cols"]
+            aligner = pipeline.aligner
+            aligner._ensure_capacity(max(cached, 1))
+            if cached:
+                aligner._cost[:, :cached] = aligner_state["cost_prefix"]
+            aligner._cached_cols = cached
+            pipeline.consumed = saved["consumed"]
+            pipeline.generation = saved["generation"]
+            pipeline.vzone = None
+            pipeline.vzone_sample_count = -1
+        session._batches = state["batches"]
+        session._updates = state["updates"]
+        session._previous_x = state["previous_x"]
+        return session

@@ -21,6 +21,11 @@ sorted) are handled by policy, chosen at construction:
   independent of arrival order.  Consumers that maintain incremental state
   over the sample sequence (the streaming session) detect the reorder via
   :attr:`TagStreamBuffer.reorders` and rebuild that tag's state.
+* ``"dedupe"``: like ``"reorder"``, but an **exact duplicate** read (same
+  tag, timestamp, channel, and wrapped phase — an LLRP report retry) is
+  dropped instead of corrupting the profile; drops are counted per tag in
+  :attr:`TagStreamBuffer.duplicates_dropped`, surfaced exactly like
+  :attr:`TagStreamBuffer.reorders`.
 * ``"raise"``: ingestion raises ``ValueError`` at the offending read, for
   deployments where a timestamp regression means a broken reader clock.
 """
@@ -35,8 +40,9 @@ from ..core.phase_profile import PhaseProfile, ProfileSet
 from ..rf.constants import TWO_PI
 from ..rfid.reading import ReadBatch, TagRead
 
-OUT_OF_ORDER_POLICIES = ("reorder", "raise")
-"""Supported responses to a read whose timestamp precedes its tag's last one."""
+OUT_OF_ORDER_POLICIES = ("reorder", "dedupe", "raise")
+"""Supported responses to a read whose timestamp precedes its tag's last one.
+``"dedupe"`` additionally drops exact duplicate reads at ingest."""
 
 _INITIAL_CAPACITY = 16
 
@@ -61,6 +67,8 @@ class TagStreamBuffer:
         "_last_time",
         "_disordered",
         "reorders",
+        "duplicates_dropped",
+        "_seen",
         "_profile_cache",
         "_profile_cache_count",
         "_channel_index",
@@ -77,6 +85,9 @@ class TagStreamBuffer:
         self.reorders = 0
         """Incremented whenever an out-of-order read is accepted; incremental
         consumers rebuild their per-tag state when this changes."""
+        self.duplicates_dropped = 0
+        """Exact duplicate reads dropped at ingest (``"dedupe"`` policy only)."""
+        self._seen: set[tuple[float, float, int]] | None = None
         self._profile_cache: PhaseProfile | None = None
         self._profile_cache_count = -1
         self._channel_index = 6
@@ -113,11 +124,25 @@ class TagStreamBuffer:
         rssi_dbm: np.ndarray,
         channel_index: int,
         out_of_order: str,
-    ) -> None:
-        """Append a chunk of this tag's reads (arrival order)."""
+    ) -> int:
+        """Append a chunk of this tag's reads (arrival order).
+
+        Returns the number of exact duplicates dropped (always 0 unless the
+        policy is ``"dedupe"``), so the collector can keep its read count an
+        ingested-reads count.
+        """
         count = timestamps_s.shape[0]
         if count == 0:
-            return
+            return 0
+        if out_of_order == "dedupe":
+            timestamps_s, phases_rad, rssi_dbm, dropped = self._dedupe_chunk(
+                timestamps_s, phases_rad, rssi_dbm, channel_index
+            )
+            count = timestamps_s.shape[0]
+            if count == 0:
+                return dropped
+        else:
+            dropped = 0
         in_order = timestamps_s[0] >= self._last_time and (
             count == 1 or bool(np.all(np.diff(timestamps_s) >= 0.0))
         )
@@ -144,6 +169,42 @@ class TagStreamBuffer:
         self._last_time = max(self._last_time, float(np.max(timestamps_s)))
         self._channel_index = int(channel_index)
         self._profile_cache = None
+        return dropped
+
+    def _dedupe_chunk(
+        self,
+        timestamps_s: np.ndarray,
+        phases_rad: np.ndarray,
+        rssi_dbm: np.ndarray,
+        channel_index: int,
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, int]:
+        """Filter exact duplicates out of one chunk (``"dedupe"`` policy).
+
+        A duplicate is a read identical to an already-ingested one in
+        (timestamp, wrapped phase, channel) — this tag's buffer, so the tag
+        id is implicit.  Phases are wrapped before comparison so the dropped
+        read is exactly the one whose ingestion would be a no-op signal-wise;
+        wrapping is idempotent, so passing wrapped phases onward changes
+        nothing downstream.
+        """
+        if self._seen is None:
+            self._seen = set()
+        seen = self._seen
+        channel = int(channel_index)
+        wrapped = np.mod(phases_rad, TWO_PI)
+        count = timestamps_s.shape[0]
+        keep = np.ones(count, dtype=bool)
+        for index in range(count):
+            key = (float(timestamps_s[index]), float(wrapped[index]), channel)
+            if key in seen:
+                keep[index] = False
+            else:
+                seen.add(key)
+        dropped = count - int(np.count_nonzero(keep))
+        if dropped == 0:
+            return timestamps_s, wrapped, rssi_dbm, 0
+        self.duplicates_dropped += dropped
+        return timestamps_s[keep], wrapped[keep], rssi_dbm[keep], dropped
 
     def sorted_arrays(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
         """``(timestamps, wrapped phases, rssis)`` in stable timestamp order.
@@ -192,7 +253,8 @@ class StreamingCollector:
         spanning several reader channels has no single per-profile channel,
         so :meth:`profiles` raises unless the label was given explicitly.
     out_of_order:
-        ``"reorder"`` (default) or ``"raise"`` — see the module docstring.
+        ``"reorder"`` (default), ``"dedupe"``, or ``"raise"`` — see the
+        module docstring.
     """
 
     def __init__(
@@ -216,8 +278,19 @@ class StreamingCollector:
 
     @property
     def read_count(self) -> int:
-        """Total reads ingested so far."""
+        """Total reads ingested so far (duplicates dropped at ingest under
+        the ``"dedupe"`` policy are not counted)."""
         return self._read_count
+
+    @property
+    def duplicates_dropped(self) -> int:
+        """Exact duplicate reads dropped across all tags (``"dedupe"`` only)."""
+        return sum(stream.duplicates_dropped for stream in self._streams.values())
+
+    @property
+    def reorders(self) -> int:
+        """Out-of-order acceptances across all tags (any policy but ``"raise"``)."""
+        return sum(stream.reorders for stream in self._streams.values())
 
     def tag_ids(self) -> list[str]:
         """Distinct tag ids in first-seen order (matches ``ReadLog.tag_ids``)."""
@@ -307,8 +380,9 @@ class StreamingCollector:
         if count == 0:
             return
         self._channels_seen.add(int(channel_index))
+        dropped = 0
         if len(set(tag_ids)) == 1:
-            self._stream_for(tag_ids[0]).append_columns(
+            dropped = self._stream_for(tag_ids[0]).append_columns(
                 timestamps, phases, rssis, channel_index, self.out_of_order
             )
         else:
@@ -317,14 +391,14 @@ class StreamingCollector:
                 by_tag.setdefault(tag_id, []).append(index)
             for tag_id, indices in by_tag.items():
                 rows = np.array(indices, dtype=np.intp)
-                self._stream_for(tag_id).append_columns(
+                dropped += self._stream_for(tag_id).append_columns(
                     timestamps[rows],
                     phases[rows],
                     rssis[rows],
                     channel_index,
                     self.out_of_order,
                 )
-        self._read_count += count
+        self._read_count += count - dropped
 
     # -- snapshots ---------------------------------------------------------
 

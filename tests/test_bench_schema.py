@@ -102,6 +102,20 @@ MINIMAL_SNAPSHOTS: dict[str, dict] = {
         "fig17": {"STPP": 0.77},
         "scale": {"repetitions": 2},
     },
+    "robustness": {
+        "generated_at": "2026-08-08T00:00:00+00:00",
+        "platform": "test",
+        "seed": 2015,
+        "schemes": ["STPP"],
+        "scenarios": ["library"],
+        "ladders": {
+            "loss": {"rates": [0.0], "curves": {"library": {"STPP": [1.0]}}}
+        },
+        "zero_fault_bit_identical": True,
+        "stpp_min_lead": 0.1,
+        "stpp_min_accuracy": 1.0,
+        "scale": {"repetitions": 1},
+    },
 }
 
 ALL_REQUIRED_KEYS = [
@@ -169,6 +183,7 @@ class TestSnapshotValidation:
         ("experiments", "BENCH_experiments.json"),
         ("streaming", "BENCH_streaming.json"),
         ("accuracy", "BENCH_accuracy.json"),
+        ("robustness", "BENCH_robustness.json"),
     ],
 )
 def test_committed_snapshots_validate_clean(kind, filename):

@@ -1,4 +1,5 @@
-"""Fault injection against the fleet service: quarantine and shed policies.
+"""Fault injection against the fleet service: quarantine, recovery, and
+shed policies.
 
 What must hold when things go wrong:
 
@@ -6,6 +7,12 @@ What must hold when things go wrong:
   ``session_factory`` seam: its aligner blows up during ingestion)
   quarantines **only its portal** — siblings keep ingesting and finalize
   bit-identically to standalone sessions;
+* a **transient** fault is retried from the last checkpoint instead of
+  quarantining: the portal recovers, counts the retry/restart, and still
+  finalizes bit-identically to a standalone session (recovery is invisible
+  to results); exhausted retries quarantine with the original error;
+* a portal armed with a ``FaultSpec`` degrades its own feed exactly as the
+  spec's seeded pipeline dictates, and surfaces ``faults_injected``;
 * each shed policy does exactly what it says under a full queue: ``reject``
   raises :class:`PortalOverloadError`, ``drop_oldest`` sheds and counts,
   ``block`` backpressures the producer and never drops;
@@ -20,10 +27,12 @@ from __future__ import annotations
 
 import threading
 import time
+import zlib
 
 import numpy as np
 import pytest
 
+from repro.faults import FaultSpec
 from repro.rfid.reading import ReadBatch
 from repro.service import (
     FleetConfig,
@@ -32,6 +41,7 @@ from repro.service import (
     PortalOverloadError,
     PortalQuarantinedError,
     PortalStateError,
+    TransientFaultError,
 )
 
 
@@ -164,6 +174,231 @@ class TestQuarantine:
             assert fleet.portal_stats(key).state == "quarantined"
             fleet.evict(key)
             assert key not in fleet.portal_keys()
+
+
+# ---------------------------------------------------------------------------
+# Transient-fault recovery (retry + restart-from-checkpoint)
+# ---------------------------------------------------------------------------
+
+
+class _FlakySession(LocalizationSession):
+    """A session whose ingest raises a *transient* fault on batch N.
+
+    Restart-from-checkpoint replaces it with a plain
+    :class:`LocalizationSession` (wrappers do not survive a restart), so the
+    fault fires exactly once per portal lifetime — the shape of a driver
+    hiccup rather than corrupted state.
+    """
+
+    def __init__(self, fail_on_batch: int, **kwargs):
+        kwargs.pop("facility_id", None)
+        kwargs.pop("profile_cache", None)
+        super().__init__(**kwargs)
+        self._fail_on = fail_on_batch
+
+    def ingest_batch(self, batch: ReadBatch) -> None:
+        if self.batches_ingested == self._fail_on:
+            raise TransientFaultError("reader driver hiccup")
+        super().ingest_batch(batch)
+
+
+class TestTransientRecovery:
+    @pytest.mark.parametrize("checkpoint_every", [1, 2, 16])
+    def test_transient_fault_recovers_bit_identically(self, checkpoint_every):
+        """The tentpole recovery pin: a transient mid-stream fault is
+        retried from the last checkpoint (+ journal replay), the portal is
+        NOT quarantined, and the final ordering is bit-identical to a
+        standalone session fed the same stream."""
+
+        def factory(key, **kwargs):
+            return _FlakySession(fail_on_batch=4, **kwargs)
+
+        batches = _batches(7, rounds=6)
+        config = FleetConfig(
+            worker_count=1,
+            session_factory=factory,
+            checkpoint_every=checkpoint_every,
+            retry_backoff_s=0.001,
+        )
+        with FleetService(config) as fleet:
+            key = fleet.open_portal("f", "p", channel_index=6)
+            for batch in batches:
+                fleet.ingest(key, batch)
+            final = fleet.finalize(key)
+            snap = fleet.portal_stats(key)
+        assert snap.state == "finalized"
+        assert snap.retries == 1
+        assert snap.restarts == 1
+        expected = _standalone_final(batches)
+        assert final.result.x_ordering == expected.result.x_ordering
+        assert final.result.y_ordering == expected.result.y_ordering
+        assert final.reads_ingested == expected.reads_ingested
+
+    def test_fatal_fault_skips_retries_and_quarantines(self):
+        def factory(key, **kwargs):
+            return _AlignerExplodesSession(fail_after_batches=2, **kwargs)
+
+        config = FleetConfig(worker_count=1, retry_backoff_s=0.001,
+                             session_factory=factory)
+        with FleetService(config) as fleet:
+            key = fleet.open_portal("f", "p", channel_index=6)
+            for batch in _batches(8, rounds=4):
+                try:
+                    fleet.ingest(key, batch)
+                except PortalQuarantinedError:
+                    break
+            with pytest.raises(PortalQuarantinedError):
+                fleet.finalize(key)
+            snap = fleet.portal_stats(key)
+        assert snap.state == "quarantined"
+        # RuntimeError is not in transient_errors: no retry was attempted.
+        assert snap.retries == 0
+        assert snap.restarts == 0
+
+    def test_exhausted_retries_quarantine_with_the_original_error(self):
+        """A fault that survives every restart (the batch itself is
+        poisonous: out-of-order under the "raise" policy) burns all retries
+        and then quarantines."""
+        batches = _batches(9, rounds=2)
+        config = FleetConfig(
+            worker_count=1,
+            max_retries=2,
+            retry_backoff_s=0.001,
+            transient_errors=(ValueError,),
+        )
+        with FleetService(config) as fleet:
+            key = fleet.open_portal(
+                "f", "p", channel_index=6, out_of_order="raise"
+            )
+            fleet.ingest(key, batches[1])  # later timestamps first
+            fleet.ingest(key, batches[0])  # now every ingest is out-of-order
+            with pytest.raises(PortalQuarantinedError) as excinfo:
+                fleet.finalize(key)
+            assert isinstance(excinfo.value.__cause__, ValueError)
+            snap = fleet.portal_stats(key)
+        assert snap.state == "quarantined"
+        assert snap.retries == 2
+        assert snap.restarts == 0
+
+    def test_fleet_stats_aggregate_recovery_counters(self):
+        def factory(key, **kwargs):
+            if key.portal_id == "flaky":
+                return _FlakySession(fail_on_batch=3, **kwargs)
+            kwargs.pop("facility_id", None)
+            kwargs.pop("profile_cache", None)
+            return LocalizationSession(**kwargs)
+
+        config = FleetConfig(worker_count=2, session_factory=factory,
+                             retry_backoff_s=0.001)
+        with FleetService(config) as fleet:
+            keys = {
+                name: fleet.open_portal("f", name, channel_index=6)
+                for name in ("flaky", "steady")
+            }
+            for index, name in enumerate(keys):
+                for batch in _batches(20 + index, rounds=5):
+                    fleet.ingest(keys[name], batch)
+            for key in keys.values():
+                fleet.finalize(key)
+            stats = fleet.stats()
+        assert stats.retries == 1
+        assert stats.restarts == 1
+        assert stats.portals[keys["flaky"]].retries == 1
+        assert stats.portals[keys["steady"]].retries == 0
+
+
+# ---------------------------------------------------------------------------
+# Fault-armed portals (the per-portal injection seam)
+# ---------------------------------------------------------------------------
+
+
+class TestFaultArmedPortals:
+    SPEC = FaultSpec.from_json(
+        {
+            "seed": 11,
+            "injectors": [
+                {"kind": "read_loss", "rate": 0.2},
+                {"kind": "duplicate", "rate": 0.1},
+            ],
+        }
+    )
+
+    def test_armed_portal_matches_the_spec_pipeline_exactly(self):
+        """The seeding contract: a portal's degradation is reproducible
+        outside the fleet by building the same spec with the portal key's
+        seed offset and feeding a standalone session."""
+        batches = _batches(10, rounds=6)
+        with FleetService(FleetConfig(worker_count=1)) as fleet:
+            key = fleet.open_portal(
+                "f", "p", channel_index=6,
+                fault_spec=self.SPEC, out_of_order="dedupe",
+            )
+            for batch in batches:
+                fleet.ingest(key, batch)
+            final = fleet.finalize(key)
+            snap = fleet.portal_stats(key)
+        assert snap.faults_injected > 0
+
+        pipeline = self.SPEC.build(seed_offset=zlib.crc32(str(key).encode()))
+        session = LocalizationSession(channel_index=6, out_of_order="dedupe")
+        for degraded in pipeline.apply(batches):
+            session.ingest_batch(degraded)
+        expected = session.finalize()
+        assert final.result.x_ordering == expected.result.x_ordering
+        assert final.result.y_ordering == expected.result.y_ordering
+        assert final.reads_ingested == expected.reads_ingested
+        assert snap.faults_injected == pipeline.faults_injected
+
+    def test_empty_spec_is_bit_identical_pass_through(self):
+        batches = _batches(11, rounds=5)
+        with FleetService(FleetConfig(worker_count=1)) as fleet:
+            key = fleet.open_portal(
+                "f", "p", channel_index=6, fault_spec=FaultSpec(seed=1)
+            )
+            for batch in batches:
+                fleet.ingest(key, batch)
+            final = fleet.finalize(key)
+            snap = fleet.portal_stats(key)
+        assert snap.faults_injected == 0
+        expected = _standalone_final(batches)
+        assert final.result.x_ordering == expected.result.x_ordering
+        assert final.result.y_ordering == expected.result.y_ordering
+        assert final.reads_ingested == expected.reads_ingested
+
+    def test_distinct_portals_degrade_decorrelated(self):
+        batches = _batches(12, rounds=5)
+        with FleetService(FleetConfig(worker_count=1)) as fleet:
+            keys = [
+                fleet.open_portal("f", name, channel_index=6,
+                                  fault_spec=self.SPEC)
+                for name in ("p1", "p2")
+            ]
+            for key in keys:
+                for batch in batches:
+                    fleet.ingest(key, batch)
+            finals = [fleet.finalize(key) for key in keys]
+        # Same spec, different portal keys: different survivor sets.
+        assert finals[0].reads_ingested != finals[1].reads_ingested
+
+
+# ---------------------------------------------------------------------------
+# Stats edge: p95 with zero samples
+# ---------------------------------------------------------------------------
+
+
+class TestLatencyStatsEdge:
+    def test_p95_is_none_not_a_crash_at_zero_samples(self):
+        """A portal that never served a provisional has no latency samples;
+        both the portal snapshot and the fleet roll-up must report None."""
+        with FleetService(FleetConfig(worker_count=1)) as fleet:
+            key = fleet.open_portal("f", "p", channel_index=6)
+            fleet.ingest(key, _batches(13, rounds=1)[0])
+            assert fleet.portal_stats(key).provisional_latency_p95_s is None
+            assert fleet.stats().provisional_latency_p95_s is None
+            # After one provisional the sample window is non-empty.
+            fleet.provisional(key)
+            assert fleet.portal_stats(key).provisional_latency_p95_s is not None
+            assert fleet.stats().provisional_latency_p95_s is not None
 
 
 # ---------------------------------------------------------------------------

@@ -502,6 +502,86 @@ class TestLocalizationSession:
 
 
 # ---------------------------------------------------------------------------
+# The "dedupe" ingest policy
+# ---------------------------------------------------------------------------
+
+
+class TestDedupePolicy:
+    def test_exact_duplicates_dropped_and_counted(self):
+        collector = StreamingCollector(out_of_order="dedupe")
+        read = TagRead(1.0, "tag", 0.5, -60.0, channel_index=6)
+        collector.ingest_read(read)
+        collector.ingest_read(read)  # exact duplicate: dropped
+        collector.ingest_read(TagRead(1.0, "tag", 0.6, -60.0, channel_index=6))
+        assert collector.read_count == 2
+        assert collector.duplicates_dropped == 1
+        assert collector.stream("tag").duplicates_dropped == 1
+
+    def test_signal_bearing_differences_are_kept(self):
+        # The duplicate key is (timestamp, wrapped phase, channel): a read
+        # differing in either is a legitimate re-observation and is kept.
+        collector = StreamingCollector(out_of_order="dedupe")
+        collector.ingest_read(TagRead(1.0, "tag", 0.5, -60.0))
+        collector.ingest_read(TagRead(1.001, "tag", 0.5, -60.0))  # new time
+        collector.ingest_read(TagRead(1.0, "tag", 0.6, -60.0))  # new phase
+        assert collector.read_count == 3
+        assert collector.duplicates_dropped == 0
+
+    def test_wrapped_phase_aliases_count_as_duplicates(self):
+        # Phases are wrapped before comparison, so a 2π alias of an already
+        # ingested read is signal-wise the same observation.
+        collector = StreamingCollector(out_of_order="dedupe")
+        collector.ingest_read(TagRead(1.0, "tag", 0.5, -60.0))
+        collector.ingest_read(TagRead(1.0, "tag", 0.5 + 2.0 * np.pi, -60.0))
+        assert collector.read_count == 1
+        assert collector.duplicates_dropped == 1
+
+    def test_reorder_policy_keeps_duplicates(self):
+        collector = StreamingCollector(out_of_order="reorder")
+        read = TagRead(1.0, "tag", 0.5, -60.0)
+        collector.ingest_read(read)
+        collector.ingest_read(read)
+        assert collector.read_count == 2
+        assert collector.duplicates_dropped == 0
+
+    def test_dedupe_recovers_the_clean_result_under_duplication(self, small_row_sweep):
+        """A duplicated feed through a dedupe session finalizes to exactly
+        the clean batch result: the duplicates are provably removed, and
+        only the quality/confidence grade records that they ever existed."""
+        from repro.faults import FaultSpec
+
+        tags, scene, sweep = small_row_sweep
+        channel = scene.reader_config.channel.channel_index
+        pipeline = FaultSpec.from_json(
+            {"seed": 3, "injectors": [{"kind": "duplicate", "rate": 0.15}]}
+        ).build()
+        session = LocalizationSession(
+            expected_tag_ids=tags.ids(),
+            channel_index=channel,
+            out_of_order="dedupe",
+        )
+        for batch in pipeline.apply(sweep.read_log.iter_batches(100)):
+            session.ingest_batch(batch)
+        duplicated = pipeline.counters()["reads_duplicated"]
+        assert duplicated > 0
+        assert session.collector.duplicates_dropped == duplicated
+        final = session.finalize()
+
+        batch_result = BatchLocalizer(STPPConfig()).localize(
+            profiles_from_read_log(sweep.read_log, channel_index=channel),
+            expected_tag_ids=tags.ids(),
+        )
+        _assert_results_identical(final.result, batch_result)
+        # The anomaly evidence is surfaced, and only through quality.
+        quality = session.stream_quality()
+        assert quality["duplicates_dropped"] == duplicated
+        assert 0.0 < final.quality < 1.0
+        assert final.confidence == pytest.approx(
+            final.ordered_fraction * final.agreement * final.quality
+        )
+
+
+# ---------------------------------------------------------------------------
 # Batch-equivalence pin across the three workloads
 # ---------------------------------------------------------------------------
 
